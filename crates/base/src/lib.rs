@@ -1,0 +1,29 @@
+//! Foundation types shared by every crate in the CA-GVT stack.
+//!
+//! This crate is dependency-free and holds the vocabulary of the whole
+//! system:
+//!
+//! * [`VirtualTime`] — the simulated *model* time that logical processes
+//!   advance through (the thing GVT is computed over).
+//! * [`WallNs`] — simulated *wall-clock* nanoseconds used by the virtual
+//!   cluster substrate to account for compute and communication costs.
+//! * Identifier newtypes ([`NodeId`], [`LaneId`], [`ActorId`], [`LpId`],
+//!   [`EventId`]).
+//! * [`rng`] — a small deterministic, snapshottable PCG generator. LP state
+//!   embeds its generator so rollback restores the random stream exactly.
+//! * [`stats`] — Welford mean/variance and simple accumulators used for the
+//!   paper's efficiency / LVT-disparity metrics.
+//! * [`Actor`] — the unit of execution both runtimes (virtual scheduler and
+//!   OS threads) know how to drive.
+
+pub mod actor;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use actor::{Actor, StepOutcome, StepResult};
+pub use ids::{ActorId, EventId, LaneId, LpId, NodeId};
+pub use rng::{Pcg32, SplitMix64};
+pub use stats::Welford;
+pub use time::{VirtualTime, WallNs};

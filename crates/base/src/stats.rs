@@ -1,0 +1,209 @@
+//! Statistics accumulators used by the engine's instrumentation.
+//!
+//! The paper reports committed event rate, efficiency, rollback counts, and
+//! an "LVT disparity" metric: the standard deviation of worker LVTs sampled
+//! at each GVT round, averaged over rounds. [`Welford`] provides the
+//! numerically stable single-pass mean/variance behind these.
+
+/// Welford's online mean/variance accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (the paper's disparity metric is a population
+    /// std-dev over the worker LVTs of one round).
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merge another accumulator into this one (Chan et al. parallel
+    /// combination). Used when aggregating per-worker accumulators into a
+    /// run report.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        *self = Welford { n, mean, m2 };
+    }
+}
+
+/// Min/max/sum tracker for durations and counters.
+#[derive(Clone, Copy, Debug)]
+pub struct MinMaxSum {
+    pub n: u64,
+    pub min: f64,
+    pub max: f64,
+    pub sum: f64,
+}
+
+impl Default for MinMaxSum {
+    fn default() -> Self {
+        MinMaxSum { n: 0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+    }
+}
+
+impl MinMaxSum {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    pub fn merge(&mut self, other: &MinMaxSum) {
+        if other.n == 0 {
+            return;
+        }
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_combined_stream() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0 + 3.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 3 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_with_empty_sides() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(3.0);
+        let empty = Welford::new();
+        let mut b = a;
+        b.merge(&empty);
+        assert!((b.mean() - 2.0).abs() < 1e-12);
+        let mut c = Welford::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 2);
+        assert!((c.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmaxsum_tracks_extremes() {
+        let mut m = MinMaxSum::new();
+        for x in [3.0, -1.0, 7.0, 2.0] {
+            m.push(x);
+        }
+        assert_eq!(m.n, 4);
+        assert_eq!(m.min, -1.0);
+        assert_eq!(m.max, 7.0);
+        assert!((m.mean() - 2.75).abs() < 1e-12);
+
+        let mut other = MinMaxSum::new();
+        other.push(100.0);
+        m.merge(&other);
+        assert_eq!(m.max, 100.0);
+        assert_eq!(m.n, 5);
+    }
+}

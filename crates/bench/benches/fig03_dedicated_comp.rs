@@ -1,0 +1,37 @@
+//! Criterion bench for paper Figure 3 (dedicated vs inline MPI thread, computation-dominated).
+//!
+//! Times a scaled-down instance of the figure's configuration (2 nodes at
+//! [`Scale::bench`] geometry) — tracking engine throughput regressions,
+//! not reproducing the figure itself (use the `figures` binary for that).
+
+use cagvt_bench::{base_config, run_one, Scale};
+use cagvt_gvt::GvtKind;
+use cagvt_models::presets::comp_dominated;
+use cagvt_net::MpiMode;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+#[allow(unused)]
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    let mut group = c.benchmark_group("Figure 3");
+    group.sample_size(10);
+    group.bench_function("mattern-dedicated", |b| {
+        b.iter(|| {
+            let cfg = base_config(2, MpiMode::Dedicated, 50, &scale);
+            let workload = comp_dominated(&cfg);
+            run_one(GvtKind::Mattern, &workload, cfg)
+        })
+    });
+    group.bench_function("mattern-inline", |b| {
+        b.iter(|| {
+            let cfg = base_config(2, MpiMode::InlineWorker, 50, &scale);
+            let workload = comp_dominated(&cfg);
+            run_one(GvtKind::Mattern, &workload, cfg)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

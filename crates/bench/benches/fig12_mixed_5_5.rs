@@ -1,0 +1,30 @@
+//! Criterion bench for paper Figure 12 (5-5 mixed model).
+//!
+//! Times a scaled-down instance of the figure's configuration (2 nodes at
+//! [`Scale::bench`] geometry) — tracking engine throughput regressions,
+//! not reproducing the figure itself (use the `figures` binary for that).
+
+use cagvt_bench::{base_config, run_one, Scale};
+use cagvt_gvt::GvtKind;
+use cagvt_models::presets::mixed_model;
+use cagvt_net::MpiMode;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+#[allow(unused)]
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    let mut group = c.benchmark_group("Figure 12");
+    group.sample_size(10);
+    group.bench_function("ca-gvt", |b| {
+        b.iter(|| {
+            let cfg = base_config(2, MpiMode::Dedicated, 25, &scale);
+            let workload = mixed_model(&cfg, 5.0, 5.0);
+            run_one(GvtKind::CA_DEFAULT, &workload, cfg)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

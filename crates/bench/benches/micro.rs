@@ -1,0 +1,154 @@
+//! Microbenchmarks of the engine's hot structures: pending-set operations,
+//! rollback, RNG, mailbox, and the EPG-sweep configuration from the
+//! paper's §4 text (Barrier GVT time vs event granularity).
+
+use cagvt_base::ids::{EventId, LpId};
+use cagvt_base::rng::Pcg32;
+use cagvt_base::time::{VirtualTime, WallNs};
+use cagvt_bench::{base_config, run_one, Scale};
+use cagvt_core::event::Event;
+use cagvt_core::queue::PendingSet;
+use cagvt_gvt::GvtKind;
+use cagvt_models::phold::{PhaseSchedule, PholdModel, PholdParams, Topology};
+use cagvt_models::presets::Workload;
+use cagvt_net::{Mailbox, MpiMode};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn ev(t: f64, seq: u64) -> Event<u32> {
+    Event {
+        recv_time: VirtualTime::new(t),
+        dst: LpId(0),
+        id: EventId::new(LpId(0), seq),
+        payload: 0,
+    }
+}
+
+fn pending_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pending_set");
+    group.bench_function("insert_pop_1k", |b| {
+        let mut rng = Pcg32::new(1, 1);
+        b.iter_batched(
+            || {
+                (0..1_000)
+                    .map(|i| ev(rng.next_f64() * 100.0, i))
+                    .collect::<Vec<_>>()
+            },
+            |events| {
+                let mut ps = PendingSet::new();
+                for e in events {
+                    ps.insert(e);
+                }
+                while ps.pop_min().is_some() {}
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("cancel_half_1k", |b| {
+        let mut rng = Pcg32::new(2, 2);
+        b.iter_batched(
+            || {
+                (0..1_000)
+                    .map(|i| ev(rng.next_f64() * 100.0, i))
+                    .collect::<Vec<_>>()
+            },
+            |events| {
+                let mut ps = PendingSet::new();
+                let keys: Vec<_> = events.iter().map(|e| e.key()).collect();
+                for e in events {
+                    ps.insert(e);
+                }
+                for k in keys.iter().step_by(2) {
+                    ps.cancel(*k);
+                }
+                while ps.pop_min().is_some() {}
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn rng_and_mailbox(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.bench_function("pcg32_exp_draws_1k", |b| {
+        let mut rng = Pcg32::new(3, 3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1_000 {
+                acc += rng.next_exp(1.0);
+            }
+            acc
+        })
+    });
+    group.bench_function("mailbox_push_pop_1k", |b| {
+        b.iter(|| {
+            let mb: Mailbox<u64> = Mailbox::new();
+            for i in 0..1_000u64 {
+                mb.push(WallNs(i), i);
+            }
+            let mut n = 0;
+            while mb.pop_ready(WallNs(u64::MAX)).is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+/// Paper §4 text: Barrier GVT function time grows with EPG (10K -> 40K).
+fn epg_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epg_sweep_barrier");
+    group.sample_size(10);
+    let scale = Scale::bench();
+    for epg in [10_000u64, 40_000] {
+        group.bench_function(format!("epg_{epg}"), |b| {
+            b.iter(|| {
+                let cfg = base_config(2, MpiMode::Dedicated, 25, &scale);
+                let workload = Workload {
+                    name: format!("epg-{epg}"),
+                    model: PholdModel::new(
+                        Topology {
+                            lps_per_worker: cfg.lps_per_worker,
+                            workers_per_node: cfg.spec.workers_per_node,
+                            nodes: cfg.spec.nodes,
+                        },
+                        PhaseSchedule::constant(PholdParams::new(0.10, 0.01, epg)),
+                    ),
+                    gvt_interval: 25,
+                };
+                run_one(GvtKind::Barrier, &workload, cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The three rollback strategies on a rollback-heavy PHOLD run: per-event
+/// snapshots vs reverse computation vs periodic state saving. Results are
+/// identical (the test suite proves it); this measures the host-side cost
+/// difference of the history machinery.
+fn rollback_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollback_strategy");
+    group.sample_size(10);
+    let scale = Scale::bench();
+    for (name, periodic, force_snapshot) in [
+        ("reverse", None, false),
+        ("snapshot", None, true),
+        ("periodic_16", Some(16u32), false),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = base_config(2, MpiMode::Dedicated, 25, &scale);
+                cfg.periodic_snapshot = periodic;
+                cfg.force_snapshot = force_snapshot;
+                let workload = cagvt_models::presets::comm_dominated(&cfg);
+                run_one(GvtKind::Mattern, &workload, cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pending_set, rng_and_mailbox, epg_sweep, rollback_strategies);
+criterion_main!(benches);

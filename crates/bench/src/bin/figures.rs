@@ -1,0 +1,134 @@
+//! Regenerate the paper's figures and tables as CSV.
+//!
+//! ```text
+//! figures [all | fig3 fig4 fig5 fig6 fig8 fig9 fig10 fig11 fig12
+//!          stats epg-sweep ca-trace threshold-sweep interval-sweep
+//!          mpi-modes] [--paper] [--bench-scale] [--out DIR]
+//! ```
+//!
+//! Default scale keeps the paper's 60-workers-per-node shape with a
+//! reduced LP count and horizon; `--paper` runs the full 128-LPs-per-worker
+//! geometry (slow). Rows print to stdout; with `--out DIR` each figure is
+//! additionally written to `DIR/<figure>.csv`.
+
+use cagvt_bench::{
+    base_config, ca_queue, epg_sweep, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig8, fig9,
+    interval_sweep, mpi_modes, run_one, samadi, stats_table, threshold_sweep, Row, Scale,
+};
+use cagvt_models::presets::comm_dominated;
+use cagvt_net::MpiMode;
+use std::io::Write;
+
+fn ca_trace(scale: &Scale) -> Vec<Row> {
+    // §6 text: CA-GVT's sync/async mode trace on the communication-
+    // dominated workload.
+    let nodes = 8;
+    let cfg = base_config(nodes, MpiMode::Dedicated, 25, scale);
+    let workload = comm_dominated(&cfg);
+    let report = run_one(cagvt_bench::CA_HARNESS, &workload, cfg);
+    eprintln!(
+        "# ca-trace: {} rounds total, {} synchronous, {} asynchronous, final efficiency {:.2}%",
+        report.gvt_rounds,
+        report.sync_rounds,
+        report.async_rounds,
+        report.efficiency * 100.0
+    );
+    vec![Row { figure: "ca-trace", series: "ca-gvt".into(), nodes, report }]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default();
+    let mut out_dir: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+
+    // `figures summarize [DIR]` prints the paper-vs-measured headline
+    // table from previously generated CSVs.
+    if args.first().map(|s| s.as_str()) == Some("summarize") {
+        let dir = args.get(1).cloned().unwrap_or_else(|| "results".to_string());
+        match cagvt_bench::summary::summarize(std::path::Path::new(&dir)) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("summarize failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper" => scale = Scale::paper(),
+            "--bench-scale" => scale = Scale::bench(),
+            "--out" => {
+                out_dir = Some(it.next().expect("--out needs a directory").clone());
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    // "all" expands to every paper experiment (ablations stay opt-in but
+    // can be combined with it on the same command line).
+    let core_set: Vec<String> = [
+        "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "stats", "epg-sweep", "ca-trace",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    if selected.is_empty() {
+        selected = core_set;
+    } else if selected.iter().any(|s| s == "all") {
+        let tail: Vec<String> = selected.iter().filter(|s| *s != "all").cloned().collect();
+        selected = core_set;
+        for t in tail {
+            if !selected.contains(&t) {
+                selected.push(t);
+            }
+        }
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    println!("{}", Row::csv_header());
+    for name in &selected {
+        let t0 = std::time::Instant::now();
+        let rows = match name.as_str() {
+            "fig3" => fig3(&scale),
+            "fig4" => fig4(&scale),
+            "fig5" => fig5(&scale),
+            "fig6" => fig6(&scale),
+            "fig8" => fig8(&scale),
+            "fig9" => fig9(&scale),
+            "fig10" => fig10(&scale),
+            "fig11" => fig11(&scale),
+            "fig12" => fig12(&scale),
+            "stats" => stats_table(&scale),
+            "epg-sweep" => epg_sweep(&scale),
+            "ca-trace" => ca_trace(&scale),
+            "threshold-sweep" => threshold_sweep(&scale),
+            "ca-queue" => ca_queue(&scale),
+            "samadi" => samadi(&scale),
+            "interval-sweep" => interval_sweep(&scale),
+            "mpi-modes" => mpi_modes(&scale),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        };
+        for row in &rows {
+            println!("{}", row.csv());
+        }
+        eprintln!("# {name}: {} rows in {:.1}s", rows.len(), t0.elapsed().as_secs_f64());
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{name}.csv");
+            let mut f = std::fs::File::create(&path).expect("create figure csv");
+            writeln!(f, "{}", Row::csv_header()).unwrap();
+            for row in &rows {
+                writeln!(f, "{}", row.csv()).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Quick calibration probe: one run, full report dump.
+use cagvt_bench::{base_config, run_one, Scale};
+use cagvt_gvt::GvtKind;
+use cagvt_models::presets::{comm_dominated, comp_dominated, mixed_model};
+use cagvt_net::MpiMode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = match args.first().map(|s| s.as_str()) {
+        Some("barrier") => GvtKind::Barrier,
+        Some("ca") => cagvt_bench::CA_HARNESS,
+        _ => GvtKind::Mattern,
+    };
+    let workload_name = args.get(1).map(|s| s.as_str()).unwrap_or("comp");
+    let nodes: u16 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let scale = Scale::default();
+    let cfg = base_config(nodes, MpiMode::Dedicated, 25, &scale);
+    let workload = match workload_name {
+        "comm" => comm_dominated(&cfg),
+        "mixed" => mixed_model(&cfg, 10.0, 15.0),
+        "mixed1" => {
+            use cagvt_models::phold::{PhaseSchedule, PholdModel, Topology};
+            use cagvt_models::presets::{Workload, COMP_PARAMS, COMM_PARAMS};
+            Workload {
+                name: "mixed1".into(),
+                model: PholdModel::new(
+                    Topology {
+                        lps_per_worker: cfg.lps_per_worker,
+                        workers_per_node: cfg.spec.workers_per_node,
+                        nodes: cfg.spec.nodes,
+                    },
+                    PhaseSchedule::alternating_cycles(10.0, COMP_PARAMS, 15.0, COMM_PARAMS, 1),
+                ),
+                gvt_interval: 25,
+            }
+        }
+        _ => comp_dominated(&cfg),
+    };
+    let r = run_one(kind, &workload, cfg);
+    println!("{r}");
+    println!("steady_rate={:.0} window_rounds={} gvt_rounds={} req_interval={} req_idle={} throttled={}",
+        r.steady_rate, r.window_rounds, r.gvt_rounds, r.requests_interval, r.requests_idle, r.throttled_steps);
+}

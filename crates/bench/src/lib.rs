@@ -1,0 +1,445 @@
+//! Benchmark harness: every experiment of the paper's evaluation section
+//! as a callable function.
+//!
+//! Each `figN` function regenerates the series of the corresponding paper
+//! figure (committed event rate vs node count); the `stats`, `epg_sweep`,
+//! `ca_trace` and sweep functions cover the in-text tables and the
+//! ablations listed in DESIGN.md. The `figures` binary formats these as
+//! CSV; the Criterion benches under `benches/` time scaled-down instances
+//! of the same configurations.
+//!
+//! Scale: [`Scale::paper`] is the paper's geometry (60 workers and 128 LPs
+//! per worker per node); [`Scale::default`] keeps the 60-workers-per-MPI
+//! -thread ratio that drives the saturation effects but trims LP count and
+//! horizon so a full figure regenerates in seconds under the virtual
+//! scheduler.
+
+pub mod summary;
+
+use cagvt_core::cluster::run_virtual_with;
+use cagvt_core::{RunReport, SimConfig};
+use cagvt_exec::VirtualConfig;
+use cagvt_gvt::{make_bundle, GvtKind};
+use cagvt_models::presets::{comm_dominated, comp_dominated, mixed_model, Workload};
+use cagvt_models::phold::{PhaseSchedule, PholdModel, PholdParams};
+use cagvt_net::MpiMode;
+use std::sync::Arc;
+
+/// Run geometry knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    pub workers_per_node: u16,
+    pub lps_per_worker: u32,
+    pub end_time: f64,
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        // The paper's full per-node geometry (60 workers x 128 LPs — the
+        // LP density per worker controls how far a worker advances in
+        // virtual time per wall second, which is what makes remote latency
+        // benign or catastrophic). Only the horizon is shortened.
+        Scale { workers_per_node: 60, lps_per_worker: 128, end_time: 12.0, seed: 0x1CC_2019 }
+    }
+}
+
+impl Scale {
+    /// The paper's geometry with a long horizon (slow: millions of events
+    /// per run).
+    pub fn paper() -> Self {
+        Scale { workers_per_node: 60, lps_per_worker: 128, end_time: 60.0, seed: 0x1CC_2019 }
+    }
+
+    /// A tiny geometry for Criterion benches and smoke tests.
+    pub fn bench() -> Self {
+        Scale { workers_per_node: 12, lps_per_worker: 32, end_time: 4.0, seed: 0x1CC_2019 }
+    }
+}
+
+/// The node counts of every figure's x-axis.
+pub const NODE_COUNTS: [u16; 4] = [1, 2, 4, 8];
+
+/// Assemble a [`SimConfig`] for one run.
+pub fn base_config(nodes: u16, mode: MpiMode, gvt_interval: u64, scale: &Scale) -> SimConfig {
+    let mut cfg = SimConfig::paper(nodes);
+    cfg.spec = cagvt_net::ClusterSpec::new(nodes, scale.workers_per_node, mode);
+    cfg.lps_per_worker = scale.lps_per_worker;
+    cfg.end_time = scale.end_time;
+    cfg.gvt_interval = gvt_interval;
+    cfg.max_outstanding = (gvt_interval as usize * 24).max(240);
+    cfg.seed = scale.seed;
+    cfg
+}
+
+fn scheduler_valves() -> VirtualConfig {
+    VirtualConfig {
+        max_steps: Some(3_000_000_000),
+        horizon: Some(cagvt_base::WallNs(900_000_000_000)),
+        ..Default::default()
+    }
+}
+
+/// Run one `(algorithm, workload, topology)` combination.
+pub fn run_one(kind: GvtKind, workload: &Workload, cfg: SimConfig) -> RunReport {
+    let model = Arc::new(workload.model.clone());
+    run_virtual_with(model, cfg, scheduler_valves(), |shared| make_bundle(kind, shared))
+}
+
+/// One data point of a figure.
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub figure: &'static str,
+    pub series: String,
+    pub nodes: u16,
+    pub report: RunReport,
+}
+
+impl Row {
+    pub fn csv_header() -> &'static str {
+        "figure,series,nodes,steady_rate,committed_rate,efficiency,committed,rollbacks,rolled_back,\
+         gvt_rounds,gvt_time_mean,lvt_disparity,sync_rounds,async_rounds,sim_seconds"
+    }
+
+    pub fn csv(&self) -> String {
+        let r = &self.report;
+        format!(
+            "{},{},{},{:.1},{:.1},{:.4},{},{},{},{},{:.6},{:.4},{},{},{:.6}",
+            self.figure,
+            self.series,
+            self.nodes,
+            r.steady_rate,
+            r.committed_rate,
+            r.efficiency,
+            r.committed,
+            r.rollbacks,
+            r.rolled_back,
+            r.gvt_rounds,
+            r.gvt_time_mean,
+            r.lvt_disparity,
+            r.sync_rounds,
+            r.async_rounds,
+            r.sim_seconds,
+        )
+    }
+}
+
+type WorkloadFn = fn(&SimConfig) -> Workload;
+
+fn sweep(
+    figure: &'static str,
+    make_workload: WorkloadFn,
+    combos: &[(GvtKind, MpiMode, &str)],
+    gvt_interval: u64,
+    scale: &Scale,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &(kind, mode, series) in combos {
+        for &nodes in &NODE_COUNTS {
+            let cfg = base_config(nodes, mode, gvt_interval, scale);
+            let workload = make_workload(&cfg);
+            let report = run_one(kind, &workload, cfg);
+            rows.push(Row { figure, series: series.to_string(), nodes, report });
+        }
+    }
+    rows
+}
+
+/// Figures 3-4 run the inline-MPI baseline, whose pathology (the paper's
+/// point) inflates simulated *and* host time; a shorter horizon shows the
+/// same steady-state ratios at tolerable cost.
+fn dedicated_scale(scale: &Scale) -> Scale {
+    Scale { end_time: scale.end_time.min(5.0), ..*scale }
+}
+
+/// Figure 3: dedicated vs inline MPI thread, computation-dominated.
+pub fn fig3(scale: &Scale) -> Vec<Row> {
+    let scale = dedicated_scale(scale);
+    sweep(
+        "fig3",
+        comp_dominated,
+        &[
+            (GvtKind::Mattern, MpiMode::Dedicated, "mattern-dedicated"),
+            (GvtKind::Mattern, MpiMode::InlineWorker, "mattern-inline"),
+            (GvtKind::Barrier, MpiMode::Dedicated, "barrier-dedicated"),
+            (GvtKind::Barrier, MpiMode::InlineWorker, "barrier-inline"),
+        ],
+        50,
+        &scale,
+    )
+}
+
+/// Figure 4: dedicated vs inline MPI thread, communication-dominated.
+pub fn fig4(scale: &Scale) -> Vec<Row> {
+    let scale = dedicated_scale(scale);
+    sweep(
+        "fig4",
+        comm_dominated,
+        &[
+            (GvtKind::Mattern, MpiMode::Dedicated, "mattern-dedicated"),
+            (GvtKind::Mattern, MpiMode::InlineWorker, "mattern-inline"),
+            (GvtKind::Barrier, MpiMode::Dedicated, "barrier-dedicated"),
+            (GvtKind::Barrier, MpiMode::InlineWorker, "barrier-inline"),
+        ],
+        50,
+        &scale,
+    )
+}
+
+/// Figure 5: Mattern vs Barrier, computation-dominated.
+pub fn fig5(scale: &Scale) -> Vec<Row> {
+    sweep(
+        "fig5",
+        comp_dominated,
+        &[
+            (GvtKind::Mattern, MpiMode::Dedicated, "mattern"),
+            (GvtKind::Barrier, MpiMode::Dedicated, "barrier"),
+        ],
+        25,
+        scale,
+    )
+}
+
+/// Figure 6: Mattern vs Barrier, communication-dominated.
+pub fn fig6(scale: &Scale) -> Vec<Row> {
+    sweep(
+        "fig6",
+        comm_dominated,
+        &[
+            (GvtKind::Mattern, MpiMode::Dedicated, "mattern"),
+            (GvtKind::Barrier, MpiMode::Dedicated, "barrier"),
+        ],
+        25,
+        scale,
+    )
+}
+
+/// CA-GVT threshold used by the harness: the paper's 0.80 is tuned to
+/// their efficiency distribution (COMP ~93%, COMM ~36%); this substrate's
+/// distribution is compressed upward (COMP ~99.7%, COMM ~70-85%), so the
+/// equivalent separating threshold is higher. `figures threshold-sweep`
+/// shows the sensitivity.
+pub const CA_HARNESS: GvtKind = GvtKind::CaGvt { threshold: 0.93 };
+
+const THREE_ALGORITHMS: [(GvtKind, MpiMode, &str); 3] = [
+    (GvtKind::Mattern, MpiMode::Dedicated, "mattern"),
+    (GvtKind::Barrier, MpiMode::Dedicated, "barrier"),
+    (CA_HARNESS, MpiMode::Dedicated, "ca-gvt"),
+];
+
+/// Figure 8: all three algorithms, computation-dominated.
+pub fn fig8(scale: &Scale) -> Vec<Row> {
+    sweep("fig8", comp_dominated, &THREE_ALGORITHMS, 25, scale)
+}
+
+/// Figure 9: all three algorithms, communication-dominated.
+pub fn fig9(scale: &Scale) -> Vec<Row> {
+    sweep("fig9", comm_dominated, &THREE_ALGORITHMS, 25, scale)
+}
+
+fn fig_mixed(figure: &'static str, x: f64, y: f64, scale: &Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &(kind, mode, series) in &THREE_ALGORITHMS {
+        for &nodes in &NODE_COUNTS {
+            let cfg = base_config(nodes, mode, 25, scale);
+            let workload = mixed_model(&cfg, x, y);
+            let report = run_one(kind, &workload, cfg);
+            rows.push(Row { figure, series: series.to_string(), nodes, report });
+        }
+    }
+    rows
+}
+
+/// Figure 10: 10-15 mixed model.
+pub fn fig10(scale: &Scale) -> Vec<Row> {
+    fig_mixed("fig10", 10.0, 15.0, scale)
+}
+
+/// Figure 11: 15-10 mixed model.
+pub fn fig11(scale: &Scale) -> Vec<Row> {
+    fig_mixed("fig11", 15.0, 10.0, scale)
+}
+
+/// Figure 12: 5-5 mixed model.
+pub fn fig12(scale: &Scale) -> Vec<Row> {
+    fig_mixed("fig12", 5.0, 5.0, scale)
+}
+
+/// In-text stats table (§4): per algorithm and workload at the maximum
+/// node count: efficiency, rollbacks, disparity, GVT-function time.
+pub fn stats_table(scale: &Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (make, wname) in [(comp_dominated as WorkloadFn, "comp"), (comm_dominated, "comm")] {
+        for &(kind, mode, series) in &THREE_ALGORITHMS {
+            let nodes = *NODE_COUNTS.last().expect("non-empty");
+            let cfg = base_config(nodes, mode, 25, scale);
+            let workload = make(&cfg);
+            let report = run_one(kind, &workload, cfg);
+            rows.push(Row {
+                figure: "stats",
+                series: format!("{wname}-{series}"),
+                nodes,
+                report,
+            });
+        }
+    }
+    rows
+}
+
+/// EPG sweep (§4 text): time spent in the Barrier GVT function as EPG
+/// grows from 10K to 40K.
+pub fn epg_sweep(scale: &Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for epg in [10_000u64, 20_000, 30_000, 40_000] {
+        let nodes = *NODE_COUNTS.last().expect("non-empty");
+        let cfg = base_config(nodes, MpiMode::Dedicated, 25, scale);
+        let params = PholdParams::new(0.10, 0.01, epg);
+        let workload = Workload {
+            name: format!("epg-{epg}"),
+            model: PholdModel::new(
+                cagvt_models::phold::Topology {
+                    lps_per_worker: cfg.lps_per_worker,
+                    workers_per_node: cfg.spec.workers_per_node,
+                    nodes: cfg.spec.nodes,
+                },
+                PhaseSchedule::constant(params),
+            ),
+            gvt_interval: 25,
+        };
+        let report = run_one(GvtKind::Barrier, &workload, cfg);
+        rows.push(Row { figure: "epg-sweep", series: format!("epg-{epg}"), nodes, report });
+    }
+    rows
+}
+
+/// CA-GVT threshold ablation on the 10-15 mixed model.
+pub fn threshold_sweep(scale: &Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for threshold in [0.50, 0.60, 0.70, 0.80, 0.90, 0.95] {
+        let nodes = *NODE_COUNTS.last().expect("non-empty");
+        let cfg = base_config(nodes, MpiMode::Dedicated, 25, scale);
+        let workload = mixed_model(&cfg, 10.0, 15.0);
+        let report = run_one(GvtKind::CaGvt { threshold }, &workload, cfg);
+        rows.push(Row {
+            figure: "threshold-sweep",
+            series: format!("thr-{threshold:.2}"),
+            nodes,
+            report,
+        });
+    }
+    rows
+}
+
+/// GVT interval ablation.
+pub fn interval_sweep(scale: &Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (make, wname) in [(comp_dominated as WorkloadFn, "comp"), (comm_dominated, "comm")] {
+        for interval in [10u64, 25, 50, 100] {
+            for (kind, series) in
+                [(GvtKind::Mattern, "mattern"), (GvtKind::Barrier, "barrier")]
+            {
+                let nodes = *NODE_COUNTS.last().expect("non-empty");
+                let cfg = base_config(nodes, MpiMode::Dedicated, interval, scale);
+                let workload = make(&cfg);
+                let report = run_one(kind, &workload, cfg);
+                rows.push(Row {
+                    figure: "interval-sweep",
+                    series: format!("{wname}-{series}-i{interval}"),
+                    nodes,
+                    report,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// CA-GVT trigger ablation: efficiency-only vs efficiency-or-queue
+/// occupancy (the extended trigger from the paper's concluding remarks)
+/// on the communication-dominated workload, where saturation shows in the
+/// queue before it shows in cumulative efficiency.
+pub fn ca_queue(scale: &Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let nodes = *NODE_COUNTS.last().expect("non-empty");
+    for (kind, series) in [
+        (CA_HARNESS, "ca-efficiency"),
+        (GvtKind::CaGvtQueue { threshold: 0.93, queue_threshold: 200 }, "ca-queue-200"),
+        (GvtKind::CaGvtQueue { threshold: 0.93, queue_threshold: 50 }, "ca-queue-50"),
+    ] {
+        let cfg = base_config(nodes, MpiMode::Dedicated, 25, scale);
+        let workload = comm_dominated(&cfg);
+        let report = run_one(kind, &workload, cfg);
+        rows.push(Row { figure: "ca-queue", series: series.to_string(), nodes, report });
+    }
+    rows
+}
+
+/// Samadi's acknowledgement-based GVT (paper §7 related work) against
+/// Mattern: same committed events, roughly double the channel traffic.
+pub fn samadi(scale: &Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (make, wname) in [(comp_dominated as WorkloadFn, "comp"), (comm_dominated, "comm")] {
+        for (kind, series) in [(GvtKind::Mattern, "mattern"), (GvtKind::Samadi, "samadi")] {
+            for &nodes in &NODE_COUNTS {
+                let cfg = base_config(nodes, MpiMode::Dedicated, 25, scale);
+                let workload = make(&cfg);
+                let report = run_one(kind, &workload, cfg);
+                rows.push(Row {
+                    figure: "samadi",
+                    series: format!("{wname}-{series}"),
+                    nodes,
+                    report,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// MPI-mode ablation including the `PerWorker` pathology that motivates
+/// the dedicated MPI thread.
+pub fn mpi_modes(scale: &Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (make, wname) in [(comp_dominated as WorkloadFn, "comp"), (comm_dominated, "comm")] {
+        for mode in [MpiMode::Dedicated, MpiMode::InlineWorker, MpiMode::PerWorker] {
+            let nodes = *NODE_COUNTS.last().expect("non-empty");
+            let cfg = base_config(nodes, mode, 25, scale);
+            let workload = make(&cfg);
+            let report = run_one(GvtKind::Mattern, &workload, cfg);
+            rows.push(Row {
+                figure: "mpi-modes",
+                series: format!("{wname}-{}", mode.label()),
+                nodes,
+                report,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_config_respects_scale() {
+        let scale = Scale::bench();
+        let cfg = base_config(2, MpiMode::Dedicated, 25, &scale);
+        assert_eq!(cfg.spec.nodes, 2);
+        assert_eq!(cfg.spec.workers_per_node, 12);
+        assert_eq!(cfg.lps_per_worker, 32);
+        assert_eq!(cfg.gvt_interval, 25);
+        cfg.validate();
+    }
+
+    #[test]
+    fn row_csv_is_well_formed() {
+        let scale = Scale::bench();
+        let cfg = base_config(1, MpiMode::Dedicated, 25, &scale);
+        let workload = comp_dominated(&cfg);
+        let report = run_one(GvtKind::Mattern, &workload, cfg);
+        let row = Row { figure: "test", series: "s".into(), nodes: 1, report };
+        let fields = row.csv().split(',').count();
+        assert_eq!(fields, Row::csv_header().split(',').count());
+    }
+}

@@ -1,0 +1,193 @@
+//! Cluster construction and the virtual-run driver.
+
+use cagvt_base::actor::Actor;
+use cagvt_base::ids::{ActorId, EventId, LaneId, LpId, NodeId};
+use cagvt_base::time::VirtualTime;
+use cagvt_exec::{VirtualConfig, VirtualScheduler};
+use cagvt_net::{fabric_pair, MpiMode};
+use std::sync::Arc;
+
+use crate::config::SimConfig;
+use crate::event::Event;
+use crate::gvt::{GvtBundle, GvtSharedCore};
+use crate::lp::LpRuntime;
+use crate::model::{Emitter, Model};
+use crate::mpi_actor::{MpiActor, MpiPump};
+use crate::node::{EngineShared, NodeShared};
+use crate::report::RunReport;
+use crate::stats::SharedStats;
+use crate::worker::Worker;
+
+/// Shared handles surviving a build, for inspection by tests and the
+/// harness.
+pub struct ClusterHandles<M: Model> {
+    pub shared: Arc<EngineShared<M>>,
+}
+
+/// Construct the shared engine state for `cfg` (workers and actors are
+/// built on top by [`build_cluster`]; exposed separately so GVT bundle
+/// factories can be handed the shared state first).
+pub fn build_shared<M: Model>(model: Arc<M>, cfg: SimConfig) -> Arc<EngineShared<M>> {
+    cfg.validate();
+    let spec = cfg.spec;
+    let stats = Arc::new(SharedStats::new(spec.total_workers()));
+    let gvt_core = Arc::new(GvtSharedCore::new(
+        Arc::clone(&stats),
+        spec.nodes,
+        spec.workers_per_node,
+    ));
+    let (fabric, ctrl) = fabric_pair(spec.nodes);
+    let nodes = (0..spec.nodes)
+        .map(|n| Arc::new(NodeShared::new(NodeId(n), spec.workers_per_node)))
+        .collect();
+    Arc::new(EngineShared { cfg, model, fabric, ctrl, nodes, gvt_core, stats })
+}
+
+/// Build every actor of a run: all workers plus (in dedicated mode) one
+/// MPI actor per node, with time-zero events preloaded.
+pub fn build_cluster<M: Model>(
+    shared: Arc<EngineShared<M>>,
+    bundle: &dyn GvtBundle,
+) -> (Vec<Box<dyn Actor>>, ClusterHandles<M>) {
+    let cfg = shared.cfg;
+    let spec = cfg.spec;
+    let total_workers = spec.total_workers();
+
+    // Construct workers with their LPs.
+    let mut workers: Vec<Worker<M>> = Vec::with_capacity(total_workers as usize);
+    for n in 0..spec.nodes {
+        for l in 0..spec.workers_per_node {
+            let node = NodeId(n);
+            let lane = LaneId(l);
+            let widx = shared.worker_index(node, lane);
+            let first = shared.first_lp(node, lane);
+            let strategy = cfg.rollback_strategy(shared.model.supports_reverse());
+            let lps: Vec<LpRuntime<M>> = (0..cfg.lps_per_worker)
+                .map(|k| {
+                    LpRuntime::with_strategy(
+                        LpId(first.0 + k),
+                        &*shared.model,
+                        cfg.seed,
+                        strategy,
+                        cfg.end_vt(),
+                        cfg.total_lps(),
+                    )
+                })
+                .collect();
+            let gvt = bundle.worker_gvt(node, lane, widx);
+            let mpi_duty = match spec.mpi_mode {
+                MpiMode::Dedicated => None,
+                MpiMode::InlineWorker if l == 0 => Some(MpiPump::with_poll_charging(
+                    node,
+                    Arc::clone(&shared),
+                    bundle.mpi_gvt(node),
+                    true,
+                    false,
+                    true,
+                )),
+                MpiMode::PerWorker if l == 0 => Some(MpiPump::with_poll_charging(
+                    node,
+                    Arc::clone(&shared),
+                    bundle.mpi_gvt(node),
+                    false,
+                    true,
+                    true,
+                )),
+                _ => None,
+            };
+            workers.push(Worker::new(
+                ActorId(widx),
+                node,
+                lane,
+                Arc::clone(&shared),
+                lps,
+                gvt,
+                mpi_duty,
+            ));
+        }
+    }
+
+    // Time-zero seeding: run every LP's initial-event hook, then distribute
+    // the events to their owning workers' pending sets.
+    let mut emitter: Emitter<M::Payload> = Emitter::new();
+    let mut seeds: Vec<(u32, Event<M::Payload>)> = Vec::new();
+    for w in 0..total_workers {
+        let worker = &mut workers[w as usize];
+        for k in 0..cfg.lps_per_worker {
+            let src = LpId(worker_first_lp(&shared, w) + k);
+            let (lp_seeds, _) = {
+                let lp = worker_lp_mut(worker, k as usize);
+                lp.seed_initial(&*shared.model, &mut emitter);
+                let collected: Vec<(LpId, f64, M::Payload)> = emitter.take().collect();
+                let mut out = Vec::with_capacity(collected.len());
+                for (dst, delay, payload) in collected {
+                    let id = EventId::new(src, lp.next_seq());
+                    out.push(Event { recv_time: VirtualTime::ZERO + delay, dst, id, payload });
+                }
+                (out, ())
+            };
+            for e in lp_seeds {
+                let (dn, dl) = shared.locate(e.dst);
+                let dst_widx = shared.worker_index(dn, dl);
+                seeds.push((dst_widx, e));
+            }
+        }
+    }
+    for (widx, e) in seeds {
+        workers[widx as usize].preload_event(e);
+    }
+
+    // Box the actors: workers first (ActorId = worker index), then the
+    // dedicated MPI actors.
+    let mut actors: Vec<Box<dyn Actor>> = Vec::new();
+    for w in workers {
+        actors.push(Box::new(w));
+    }
+    if spec.mpi_mode == MpiMode::Dedicated {
+        for n in 0..spec.nodes {
+            let node = NodeId(n);
+            let pump = MpiPump::new(node, Arc::clone(&shared), bundle.mpi_gvt(node), true, false);
+            actors.push(Box::new(MpiActor::new(ActorId(total_workers + n as u32), pump)));
+        }
+    }
+
+    (actors, ClusterHandles { shared })
+}
+
+fn worker_first_lp<M: Model>(shared: &EngineShared<M>, widx: u32) -> u32 {
+    widx * shared.cfg.lps_per_worker
+}
+
+fn worker_lp_mut<M: Model>(worker: &mut Worker<M>, k: usize) -> &mut LpRuntime<M> {
+    worker.lp_mut(k)
+}
+
+/// Build and run a complete simulation under the deterministic virtual
+/// scheduler, returning the assembled report.
+pub fn run_virtual<M: Model>(
+    model: Arc<M>,
+    cfg: SimConfig,
+    make_bundle: impl FnOnce(&Arc<EngineShared<M>>) -> Box<dyn GvtBundle>,
+) -> RunReport {
+    let vcfg = VirtualConfig {
+        // A run that models minutes of cluster time has gone off the rails.
+        horizon: Some(cagvt_base::WallNs(600_000_000_000)),
+        ..Default::default()
+    };
+    run_virtual_with(model, cfg, vcfg, make_bundle)
+}
+
+/// [`run_virtual`] with explicit scheduler limits (tests and the harness
+/// use tighter valves).
+pub fn run_virtual_with<M: Model>(
+    model: Arc<M>,
+    cfg: SimConfig,
+    vcfg: VirtualConfig,
+    make_bundle: impl FnOnce(&Arc<EngineShared<M>>) -> Box<dyn GvtBundle>,
+) -> RunReport {
+    let shared = build_shared(model, cfg);
+    let bundle = make_bundle(&shared);
+    let (actors, handles) = build_cluster(Arc::clone(&shared), &*bundle);
+    let stats = VirtualScheduler::new(vcfg).run(actors);
+    RunReport::assemble(bundle.name(), &handles.shared, stats)
+}

@@ -1,0 +1,159 @@
+//! Shared state: per-node wiring and the cluster-wide engine handle.
+
+use cagvt_base::ids::{LaneId, LpId, NodeId};
+use cagvt_net::{CtrlPlane, Mailbox, MpiFabric, VirtualMutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::config::SimConfig;
+use crate::event::{RemoteEnv, TaggedMsg};
+use crate::gvt::GvtSharedCore;
+use crate::model::Model;
+use crate::stats::SharedStats;
+
+/// Per-node shared structures.
+pub struct NodeShared<P> {
+    pub node: NodeId,
+    /// One inbound queue per worker lane; carries regional messages from
+    /// peers on the same node and remote messages routed by the MPI pump.
+    pub lane_queues: Vec<Mailbox<TaggedMsg<P>>>,
+    /// Outbound remote messages awaiting the MPI pump.
+    pub outbox: Mailbox<RemoteEnv<P>>,
+    /// High-water mark of the outbox depth (saturation signal).
+    pub outbox_hwm: AtomicU64,
+    /// The node's MPI library lock (contended in `PerWorker` mode).
+    pub mpi_lock: VirtualMutex,
+}
+
+impl<P> NodeShared<P> {
+    pub fn new(node: NodeId, workers: u16) -> Self {
+        NodeShared {
+            node,
+            lane_queues: (0..workers).map(|_| Mailbox::new()).collect(),
+            outbox: Mailbox::new(),
+            outbox_hwm: AtomicU64::new(0),
+            mpi_lock: VirtualMutex::new(),
+        }
+    }
+
+    /// Record the current outbox depth into the high-water mark.
+    pub fn note_outbox_depth(&self) {
+        let depth = self.outbox.len() as u64;
+        self.outbox_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// Cluster-wide engine handle: everything workers and MPI pumps share.
+pub struct EngineShared<M: Model> {
+    pub cfg: SimConfig,
+    pub model: Arc<M>,
+    pub fabric: Arc<MpiFabric<RemoteEnv<M::Payload>>>,
+    pub ctrl: Arc<CtrlPlane>,
+    pub nodes: Vec<Arc<NodeShared<M::Payload>>>,
+    pub gvt_core: Arc<GvtSharedCore>,
+    pub stats: Arc<SharedStats>,
+}
+
+impl<M: Model> EngineShared<M> {
+    /// Static LP placement: LPs are dense, block-partitioned node-major
+    /// then lane-major.
+    #[inline]
+    pub fn locate(&self, lp: LpId) -> (NodeId, LaneId) {
+        let per_node = self.cfg.lps_per_node();
+        let per_worker = self.cfg.lps_per_worker;
+        let node = lp.0 / per_node;
+        let lane = (lp.0 % per_node) / per_worker;
+        (NodeId(node as u16), LaneId(lane as u16))
+    }
+
+    /// First LP owned by `(node, lane)`.
+    #[inline]
+    pub fn first_lp(&self, node: NodeId, lane: LaneId) -> LpId {
+        LpId(node.0 as u32 * self.cfg.lps_per_node() + lane.0 as u32 * self.cfg.lps_per_worker)
+    }
+
+    /// Dense global worker index of `(node, lane)`.
+    #[inline]
+    pub fn worker_index(&self, node: NodeId, lane: LaneId) -> u32 {
+        node.0 as u32 * self.cfg.spec.workers_per_node as u32 + lane.0 as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gvt::GvtSharedCore;
+    use crate::model::{Emitter, EventCtx};
+    use cagvt_base::rng::Pcg32;
+    use cagvt_net::fabric_pair;
+
+    /// Minimal model for wiring tests.
+    struct Noop;
+    impl Model for Noop {
+        type State = ();
+        type Payload = ();
+        fn init_state(&self, _lp: LpId, _rng: &mut Pcg32) {}
+        fn initial_events(&self, _lp: LpId, _s: &mut (), _rng: &mut Pcg32, _e: &mut Emitter<()>) {}
+        fn handle(&self, _c: &EventCtx, _s: &mut (), _p: &(), _r: &mut Pcg32, _e: &mut Emitter<()>) -> u64 {
+            0
+        }
+    }
+
+    fn shared(nodes: u16, workers: u16, lps_per_worker: u32) -> EngineShared<Noop> {
+        let mut cfg = SimConfig::small(nodes, workers);
+        cfg.lps_per_worker = lps_per_worker;
+        let stats = Arc::new(SharedStats::new(cfg.spec.total_workers()));
+        let (fabric, ctrl) = fabric_pair(nodes);
+        EngineShared {
+            cfg,
+            model: Arc::new(Noop),
+            fabric,
+            ctrl,
+            nodes: (0..nodes).map(|n| Arc::new(NodeShared::new(NodeId(n), workers))).collect(),
+            gvt_core: Arc::new(GvtSharedCore::new(Arc::clone(&stats), nodes, workers)),
+            stats,
+        }
+    }
+
+    #[test]
+    fn lp_placement_is_block_partitioned() {
+        let s = shared(2, 3, 4); // 2 nodes x 3 workers x 4 LPs
+        assert_eq!(s.locate(LpId(0)), (NodeId(0), LaneId(0)));
+        assert_eq!(s.locate(LpId(3)), (NodeId(0), LaneId(0)));
+        assert_eq!(s.locate(LpId(4)), (NodeId(0), LaneId(1)));
+        assert_eq!(s.locate(LpId(11)), (NodeId(0), LaneId(2)));
+        assert_eq!(s.locate(LpId(12)), (NodeId(1), LaneId(0)));
+        assert_eq!(s.locate(LpId(23)), (NodeId(1), LaneId(2)));
+    }
+
+    #[test]
+    fn first_lp_and_worker_index_invert_locate() {
+        let s = shared(2, 3, 4);
+        for node in 0..2u16 {
+            for lane in 0..3u16 {
+                let first = s.first_lp(NodeId(node), LaneId(lane));
+                assert_eq!(s.locate(first), (NodeId(node), LaneId(lane)));
+                let widx = s.worker_index(NodeId(node), LaneId(lane));
+                assert_eq!(widx, node as u32 * 3 + lane as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn outbox_hwm_tracks_max_depth() {
+        let ns: NodeShared<()> = NodeShared::new(NodeId(0), 2);
+        ns.note_outbox_depth();
+        assert_eq!(ns.outbox_hwm.load(Ordering::Relaxed), 0);
+        ns.outbox.push(cagvt_base::WallNs::ZERO, RemoteEnv {
+            dst_node: NodeId(0),
+            dst_lane: LaneId(0),
+            tagged: TaggedMsg { msg: crate::event::EventMsg::Anti(crate::event::AntiMsg {
+                recv_time: cagvt_base::VirtualTime::ZERO,
+                dst: LpId(0),
+                id: cagvt_base::EventId::new(LpId(0), 0),
+            }), tag: 0 },
+        });
+        ns.note_outbox_depth();
+        assert_eq!(ns.outbox_hwm.load(Ordering::Relaxed), 1);
+    }
+}

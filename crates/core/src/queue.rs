@@ -1,0 +1,315 @@
+//! The pending event set of one worker.
+//!
+//! A priority queue over [`EventKey`] with support for annihilation:
+//!
+//! * anti-message arrives while the positive event is **pending** — the
+//!   event is lazily tombstoned and skipped when it reaches the top;
+//! * anti-message arrives **before** its positive event (cannot happen on
+//!   the engine's FIFO channels, but kept as a defensive path) — the
+//!   cancellation is remembered and the event is annihilated on insertion.
+//!
+//! Tombstones are keyed by the full [`EventKey`] (receive time *and*
+//! identity), not the id alone: after a rollback, a re-executed LP re-sends
+//! with the same `(sender, sequence)` id but possibly a different receive
+//! time, and an id-keyed tombstone could annihilate the fresh copy while
+//! letting the stale one go live.
+//!
+//! The case where the positive event was already **processed** is handled
+//! one level up (rollback in [`crate::lp`]).
+
+use cagvt_base::ids::EventId;
+use cagvt_base::time::VirtualTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::event::{Event, EventKey};
+
+/// Result of [`PendingSet::cancel`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CancelOutcome {
+    /// The positive event was pending; both are now annihilated.
+    AnnihilatedPending,
+    /// The positive event is not pending (defensive path); it will be
+    /// annihilated if it ever arrives.
+    Deferred,
+}
+
+struct HeapEntry<P> {
+    key: EventKey,
+    /// Insertion order. Bit-identical copies of a cancelled-then-re-sent
+    /// message share a key; the stamp distinguishes them, and because
+    /// cancellations always target the oldest surviving copy (antis
+    /// precede re-sends on FIFO channels), the dead copies of a key are
+    /// exactly its lowest-stamped entries.
+    stamp: u64,
+    event: Event<P>,
+}
+
+impl<P> PartialEq for HeapEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.stamp == other.stamp
+    }
+}
+impl<P> Eq for HeapEntry<P> {}
+impl<P> PartialOrd for HeapEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for HeapEntry<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.key, self.stamp).cmp(&(other.key, other.stamp))
+    }
+}
+
+/// Priority queue of not-yet-processed events for the LPs of one worker.
+pub struct PendingSet<P> {
+    heap: BinaryHeap<Reverse<HeapEntry<P>>>,
+    /// Receive time of each live (non-cancelled) pending event, by id.
+    live: HashMap<EventId, VirtualTime>,
+    /// Exact keys tombstoned while still in the heap, with multiplicity:
+    /// a rolled-back sender can re-send a bit-identical copy of a message
+    /// it already cancelled, so the same key can be dead more than once.
+    cancelled: HashMap<EventKey, u32>,
+    /// Cancellations that arrived before their positive event (with
+    /// multiplicity, for the same reason).
+    early_antis: HashMap<EventKey, u32>,
+    next_stamp: u64,
+}
+
+impl<P> Default for PendingSet<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> PendingSet<P> {
+    pub fn new() -> Self {
+        PendingSet {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            cancelled: HashMap::new(),
+            early_antis: HashMap::new(),
+            next_stamp: 0,
+        }
+    }
+
+    /// Insert a positive event. Returns `false` if it was annihilated by a
+    /// waiting early anti-message (in which case it is *not* inserted).
+    pub fn insert(&mut self, event: Event<P>) -> bool {
+        if let Some(n) = self.early_antis.get_mut(&event.key()) {
+            *n -= 1;
+            if *n == 0 {
+                self.early_antis.remove(&event.key());
+            }
+            return false;
+        }
+        debug_assert!(
+            !self.live.contains_key(&event.id),
+            "duplicate pending event id {:?}: live at t={:?}, inserting t={:?}",
+            event.id,
+            self.live.get(&event.id),
+            event.recv_time
+        );
+        self.live.insert(event.id, event.recv_time);
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.heap.push(Reverse(HeapEntry { key: event.key(), stamp, event }));
+        true
+    }
+
+    /// Cancel the positive event with exactly this key.
+    pub fn cancel(&mut self, key: EventKey) -> CancelOutcome {
+        if self.live.get(&key.id) == Some(&key.t) {
+            self.live.remove(&key.id);
+            *self.cancelled.entry(key).or_insert(0) += 1;
+            CancelOutcome::AnnihilatedPending
+        } else {
+            *self.early_antis.entry(key).or_insert(0) += 1;
+            CancelOutcome::Deferred
+        }
+    }
+
+    /// Drop cancelled entries sitting on top of the heap. Entries of one
+    /// key pop in stamp order, and the dead copies of a key are exactly
+    /// its oldest `cancelled[key]` entries, so decrementing as we pop
+    /// consumes precisely the dead ones and leaves a live same-key copy
+    /// (which has the highest stamp) in place.
+    fn clean_top(&mut self) {
+        while let Some(Reverse(top)) = self.heap.peek() {
+            let key = top.key;
+            match self.cancelled.get_mut(&key) {
+                Some(n) => {
+                    debug_assert!(*n > 0);
+                    *n -= 1;
+                    if *n == 0 {
+                        self.cancelled.remove(&key);
+                    }
+                    self.heap.pop();
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Remove and return the minimum live event.
+    pub fn pop_min(&mut self) -> Option<Event<P>> {
+        self.clean_top();
+        self.heap.pop().map(|Reverse(entry)| {
+            self.live.remove(&entry.event.id);
+            entry.event
+        })
+    }
+
+    /// Key of the minimum live event (the worker's LVT contribution when
+    /// present).
+    pub fn min_key(&mut self) -> Option<EventKey> {
+        self.clean_top();
+        self.heap.peek().map(|Reverse(e)| e.key)
+    }
+
+    /// Receive time of the minimum live event, or +inf when empty.
+    pub fn min_time(&mut self) -> VirtualTime {
+        self.min_key().map(|k| k.t).unwrap_or(VirtualTime::INFINITY)
+    }
+
+    /// Number of live pending events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Number of early (unmatched) anti-messages currently remembered.
+    pub fn early_antis(&self) -> usize {
+        self.early_antis.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagvt_base::ids::LpId;
+
+    fn ev(t: f64, src: u32, seq: u64) -> Event<u32> {
+        Event {
+            recv_time: VirtualTime::new(t),
+            dst: LpId(0),
+            id: EventId::new(LpId(src), seq),
+            payload: (t * 10.0) as u32,
+        }
+    }
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut ps = PendingSet::new();
+        ps.insert(ev(3.0, 0, 0));
+        ps.insert(ev(1.0, 2, 5));
+        ps.insert(ev(1.0, 1, 9));
+        ps.insert(ev(2.0, 0, 1));
+        let order: Vec<f64> = std::iter::from_fn(|| ps.pop_min())
+            .map(|e| e.recv_time.as_f64())
+            .collect();
+        assert_eq!(order, vec![1.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn equal_times_break_by_sender_then_seq() {
+        let mut ps = PendingSet::new();
+        ps.insert(ev(1.0, 2, 0));
+        ps.insert(ev(1.0, 1, 7));
+        ps.insert(ev(1.0, 1, 3));
+        let a = ps.pop_min().unwrap();
+        let b = ps.pop_min().unwrap();
+        let c = ps.pop_min().unwrap();
+        assert_eq!(a.id, EventId::new(LpId(1), 3));
+        assert_eq!(b.id, EventId::new(LpId(1), 7));
+        assert_eq!(c.id, EventId::new(LpId(2), 0));
+    }
+
+    #[test]
+    fn cancel_pending_annihilates() {
+        let mut ps = PendingSet::new();
+        let e = ev(1.0, 0, 0);
+        let key = e.key();
+        ps.insert(e);
+        ps.insert(ev(2.0, 0, 1));
+        assert_eq!(ps.cancel(key), CancelOutcome::AnnihilatedPending);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.min_time(), VirtualTime::new(2.0));
+        let popped = ps.pop_min().unwrap();
+        assert_eq!(popped.id, EventId::new(LpId(0), 1));
+        assert!(ps.pop_min().is_none());
+    }
+
+    #[test]
+    fn early_anti_annihilates_on_insert() {
+        let mut ps: PendingSet<u32> = PendingSet::new();
+        let e = ev(5.0, 3, 4);
+        assert_eq!(ps.cancel(e.key()), CancelOutcome::Deferred);
+        assert_eq!(ps.early_antis(), 1);
+        assert!(!ps.insert(e), "must annihilate against the waiting anti");
+        assert!(ps.is_empty());
+        assert_eq!(ps.early_antis(), 0);
+    }
+
+    #[test]
+    fn stale_tombstone_does_not_kill_resent_copy() {
+        // A cancelled (id, t=1.0) copy must not annihilate the re-sent
+        // (id, t=2.0) copy that shares the id.
+        let mut ps = PendingSet::new();
+        let old = ev(1.0, 0, 0);
+        let old_key = old.key();
+        ps.insert(old);
+        assert_eq!(ps.cancel(old_key), CancelOutcome::AnnihilatedPending);
+        let fresh = ev(2.0, 0, 0);
+        assert!(ps.insert(fresh.clone()), "fresh copy must be accepted");
+        let popped = ps.pop_min().unwrap();
+        assert_eq!(popped.recv_time, fresh.recv_time, "fresh copy must survive");
+        assert!(ps.pop_min().is_none());
+    }
+
+    #[test]
+    fn early_anti_matches_exact_key_only() {
+        let mut ps: PendingSet<u32> = PendingSet::new();
+        let old = ev(1.0, 0, 0);
+        ps.cancel(old.key()); // deferred anti for (id, t=1.0)
+        let fresh = ev(2.0, 0, 0); // same id, different time
+        assert!(ps.insert(fresh), "anti for the old copy must not hit the new one");
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.early_antis(), 1, "stale deferred anti remains remembered");
+    }
+
+    #[test]
+    fn min_time_skips_cancelled_head() {
+        let mut ps = PendingSet::new();
+        let head = ev(1.0, 0, 0);
+        let key = head.key();
+        ps.insert(head);
+        ps.insert(ev(4.0, 0, 1));
+        ps.cancel(key);
+        assert_eq!(ps.min_time(), VirtualTime::new(4.0));
+    }
+
+    #[test]
+    fn empty_set_reports_infinity() {
+        let mut ps: PendingSet<u32> = PendingSet::new();
+        assert_eq!(ps.min_time(), VirtualTime::INFINITY);
+        assert!(ps.min_key().is_none());
+        assert!(ps.pop_min().is_none());
+    }
+
+    #[test]
+    fn reinsert_after_rollback_is_allowed() {
+        // Rollback re-enqueues previously processed events: same id enters
+        // the set again after having been popped.
+        let mut ps = PendingSet::new();
+        let e = ev(1.0, 0, 0);
+        ps.insert(e);
+        let popped = ps.pop_min().unwrap();
+        assert!(ps.insert(popped));
+        assert_eq!(ps.len(), 1);
+    }
+}

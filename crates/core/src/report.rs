@@ -1,0 +1,259 @@
+//! Assembled results of one simulation run — the quantities the paper
+//! reports.
+
+use cagvt_base::time::VirtualTime;
+use cagvt_exec::VirtualRunStats;
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::model::Model;
+use crate::node::EngineShared;
+use crate::stats::{MpiCounters, WorkerCounters};
+
+/// Everything measured in one run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    pub algorithm: String,
+    pub nodes: u16,
+    pub workers_per_node: u16,
+    pub mpi_mode: &'static str,
+
+    /// Committed events (never rolled back, below the end time).
+    pub committed: u64,
+    /// Processed events, counting re-executions.
+    pub processed: u64,
+    /// Events undone by rollbacks.
+    pub rolled_back: u64,
+    /// Rollback episodes.
+    pub rollbacks: u64,
+    pub stragglers: u64,
+    pub antis_sent: u64,
+    /// Acknowledgement traffic (Samadi's GVT only; zero otherwise).
+    pub acks_sent: u64,
+    pub annihilated: u64,
+    /// committed / (committed + rolled back) — the paper's efficiency.
+    pub efficiency: f64,
+
+    /// Simulated wall-clock duration of the run (seconds).
+    pub sim_seconds: f64,
+    /// Committed events per simulated second over the whole run — the
+    /// paper's y-axis.
+    pub committed_rate: f64,
+    /// Committed events per simulated second between 15% and 85% of GVT
+    /// progress — excludes warm-up and the termination tail, which at
+    /// short horizons would otherwise dominate. Falls back to
+    /// `committed_rate` when the run had too few rounds to window.
+    pub steady_rate: f64,
+
+    pub gvt_rounds: u64,
+    /// GVT rounds completed inside the steady-state measurement window.
+    pub window_rounds: u64,
+    /// Mean per-worker wall time attributed to the GVT function (seconds).
+    pub gvt_time_mean: f64,
+    /// Average over rounds of the std-dev of worker LVTs (the paper's
+    /// disparity metric).
+    pub lvt_disparity: f64,
+    /// CA-GVT: how many rounds ran synchronously / asynchronously.
+    pub sync_rounds: u64,
+    pub async_rounds: u64,
+
+    pub sent_local: u64,
+    pub sent_regional: u64,
+    pub sent_remote: u64,
+    pub mpi: MpiCounters,
+
+    /// Final published GVT.
+    pub final_gvt: f64,
+    /// XOR fingerprint of final LP states (equivalence testing).
+    pub state_fingerprint: u64,
+    /// Request-cause counters (interval vs stalled-progress).
+    pub requests_interval: u64,
+    pub requests_idle: u64,
+    pub throttled_steps: u64,
+    /// Scheduler bookkeeping.
+    pub sched_steps: u64,
+    pub sched_idle_steps: u64,
+    /// False if the scheduler hit a safety valve before completion.
+    pub completed: bool,
+}
+
+impl RunReport {
+    /// Fold the deposited per-actor counters into a report.
+    pub fn assemble<M: Model>(
+        algorithm: &str,
+        shared: &Arc<EngineShared<M>>,
+        sched: VirtualRunStats,
+    ) -> RunReport {
+        let stats = &shared.stats;
+        let mut w = WorkerCounters::default();
+        for c in stats.worker_deposits.lock().iter() {
+            w.merge(c);
+        }
+        let mut mpi = MpiCounters::default();
+        for c in stats.mpi_deposits.lock().iter() {
+            mpi.merge(c);
+        }
+        let (sync_rounds, async_rounds) = {
+            let trace = stats.gvt_trace.lock();
+            let sync = trace.iter().filter(|r| r.synchronous).count() as u64;
+            (sync, trace.len() as u64 - sync)
+        };
+        let total_workers = shared.cfg.spec.total_workers().max(1) as f64;
+        let sim_seconds = sched.final_time.as_secs_f64();
+        let committed = w.committed;
+        let end = shared.cfg.end_time;
+        let (steady_rate, window_rounds) = {
+            let samples = stats.progress.lock();
+            let in_window = samples
+                .iter()
+                .filter(|s| s.gvt >= 0.15 * end && s.gvt < 0.85 * end)
+                .count() as u64;
+            let lo = samples.iter().find(|s| s.gvt >= 0.15 * end);
+            let hi = samples.iter().rev().find(|s| s.gvt < end).or(samples.last());
+            let whole = if sim_seconds > 0.0 { committed as f64 / sim_seconds } else { 0.0 };
+            let rate = match (lo, hi) {
+                (Some(a), Some(b))
+                    if b.wall > a.wall
+                        && b.committed > a.committed
+                        // Guard against sparse/degenerate sampling: the
+                        // window must cover a substantial share of the run
+                        // or the whole-run rate is the honest number.
+                        && b.committed - a.committed >= committed / 4
+                        && b.gvt - a.gvt >= 0.3 * end =>
+                {
+                    (b.committed - a.committed) as f64 / (b.wall - a.wall).as_secs_f64()
+                }
+                _ => whole,
+            };
+            (rate, in_window)
+        };
+        let efficiency = if committed + w.rolled_back == 0 {
+            1.0
+        } else {
+            committed as f64 / (committed + w.rolled_back) as f64
+        };
+        RunReport {
+            algorithm: algorithm.to_string(),
+            nodes: shared.cfg.spec.nodes,
+            workers_per_node: shared.cfg.spec.workers_per_node,
+            mpi_mode: shared.cfg.spec.mpi_mode.label(),
+            committed,
+            processed: w.processed,
+            rolled_back: w.rolled_back,
+            rollbacks: w.rollbacks,
+            stragglers: w.stragglers,
+            antis_sent: w.antis_sent,
+            acks_sent: w.acks_sent,
+            annihilated: w.annihilated,
+            efficiency,
+            sim_seconds,
+            committed_rate: if sim_seconds > 0.0 { committed as f64 / sim_seconds } else { 0.0 },
+            steady_rate,
+            gvt_rounds: shared.gvt_core.published_round(),
+            window_rounds,
+            gvt_time_mean: w.gvt_time.as_secs_f64() / total_workers,
+            lvt_disparity: stats.disparity.lock().mean(),
+            sync_rounds,
+            async_rounds,
+            sent_local: w.sent_local,
+            sent_regional: w.sent_regional,
+            sent_remote: w.sent_remote,
+            mpi,
+            final_gvt: shared.gvt_core.published_gvt().as_f64(),
+            state_fingerprint: stats.state_fp.load(Ordering::Acquire),
+            requests_interval: w.requests_interval,
+            requests_idle: w.requests_idle,
+            throttled_steps: w.throttled,
+            sched_steps: sched.steps,
+            sched_idle_steps: sched.idle_steps,
+            completed: sched.completed,
+        }
+    }
+
+    /// CSV header matching [`Self::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "algorithm,nodes,workers,mpi_mode,committed,processed,rolled_back,rollbacks,\
+         efficiency,sim_seconds,committed_rate,gvt_rounds,gvt_time_mean,lvt_disparity,\
+         sync_rounds,async_rounds,sent_regional,sent_remote,final_gvt,completed"
+    }
+
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{:.4},{:.6},{:.1},{},{:.6},{:.4},{},{},{},{},{:.3},{}",
+            self.algorithm,
+            self.nodes,
+            self.workers_per_node,
+            self.mpi_mode,
+            self.committed,
+            self.processed,
+            self.rolled_back,
+            self.rollbacks,
+            self.efficiency,
+            self.sim_seconds,
+            self.committed_rate,
+            self.gvt_rounds,
+            self.gvt_time_mean,
+            self.lvt_disparity,
+            self.sync_rounds,
+            self.async_rounds,
+            self.sent_regional,
+            self.sent_remote,
+            self.final_gvt,
+            self.completed,
+        )
+    }
+
+    /// Sanity invariant: every processed event was either committed or
+    /// rolled back, and the run finished past its end time.
+    pub fn check_conservation(&self, end_time: VirtualTime) {
+        assert!(self.completed, "run hit a scheduler safety valve");
+        assert_eq!(
+            self.processed,
+            self.committed + self.rolled_back,
+            "processed events must be committed or rolled back"
+        );
+        assert!(
+            self.final_gvt >= end_time.as_f64(),
+            "final GVT {} below end time {end_time}",
+            self.final_gvt
+        );
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{} | {} nodes x {} workers | mpi={}]",
+            self.algorithm, self.nodes, self.workers_per_node, self.mpi_mode
+        )?;
+        writeln!(
+            f,
+            "  committed {} / processed {} (efficiency {:.2}%)",
+            self.committed,
+            self.processed,
+            self.efficiency * 100.0
+        )?;
+        writeln!(
+            f,
+            "  committed rate {:.0} ev/s (steady {:.0}) over {:.4} simulated s",
+            self.committed_rate, self.steady_rate, self.sim_seconds
+        )?;
+        writeln!(
+            f,
+            "  rollbacks {} ({} events, {} stragglers, {} antis, {} acks)",
+            self.rollbacks, self.rolled_back, self.stragglers, self.antis_sent, self.acks_sent
+        )?;
+        writeln!(
+            f,
+            "  gvt rounds {} (sync {} / async {}), mean gvt time {:.4}s, disparity {:.4}",
+            self.gvt_rounds, self.sync_rounds, self.async_rounds, self.gvt_time_mean, self.lvt_disparity
+        )?;
+        write!(
+            f,
+            "  msgs: local {}, regional {}, remote {} (mpi moved {}/{})",
+            self.sent_local, self.sent_regional, self.sent_remote, self.mpi.sent, self.mpi.received
+        )
+    }
+}

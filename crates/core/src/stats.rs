@@ -1,0 +1,243 @@
+//! Engine instrumentation: per-worker counters and cluster-shared
+//! statistics.
+
+use cagvt_base::stats::Welford;
+use cagvt_base::time::{VirtualTime, WallNs};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters owned (contention-free) by one worker, deposited into
+/// [`SharedStats`] when the worker finishes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerCounters {
+    /// Events processed (including re-executions after rollback).
+    pub processed: u64,
+    /// Events committed by fossil collection.
+    pub committed: u64,
+    /// Events undone by rollbacks.
+    pub rolled_back: u64,
+    /// Rollback episodes.
+    pub rollbacks: u64,
+    /// Rollbacks triggered by straggler events (vs anti-messages).
+    pub stragglers: u64,
+    pub antis_sent: u64,
+    pub antis_received: u64,
+    /// Acknowledgement messages (Samadi's GVT only).
+    pub acks_sent: u64,
+    pub acks_received: u64,
+    /// Message pairs annihilated (pending, early, or via rollback-cancel).
+    pub annihilated: u64,
+    pub sent_local: u64,
+    pub sent_regional: u64,
+    pub sent_remote: u64,
+    pub received_msgs: u64,
+    /// GVT rounds this worker completed.
+    pub gvt_rounds: u64,
+    /// Wall time attributed to the GVT function (blocked barrier time plus
+    /// the interleaved bookkeeping of asynchronous algorithms).
+    pub gvt_time: WallNs,
+    /// Wall time spent processing events (EPG + engine overhead).
+    pub busy_time: WallNs,
+    /// Steps in which the worker had nothing to do.
+    pub idle_polls: u64,
+    /// Steps skipped because the optimism throttle was engaged.
+    pub throttled: u64,
+    /// Round requests issued because the event interval elapsed.
+    pub requests_interval: u64,
+    /// Round requests issued while unable to make progress (throttled,
+    /// drained, or past the end time).
+    pub requests_idle: u64,
+}
+
+impl WorkerCounters {
+    pub fn merge(&mut self, o: &WorkerCounters) {
+        self.processed += o.processed;
+        self.committed += o.committed;
+        self.rolled_back += o.rolled_back;
+        self.rollbacks += o.rollbacks;
+        self.stragglers += o.stragglers;
+        self.antis_sent += o.antis_sent;
+        self.antis_received += o.antis_received;
+        self.acks_sent += o.acks_sent;
+        self.acks_received += o.acks_received;
+        self.annihilated += o.annihilated;
+        self.sent_local += o.sent_local;
+        self.sent_regional += o.sent_regional;
+        self.sent_remote += o.sent_remote;
+        self.received_msgs += o.received_msgs;
+        self.gvt_rounds += o.gvt_rounds;
+        self.gvt_time += o.gvt_time;
+        self.busy_time += o.busy_time;
+        self.idle_polls += o.idle_polls;
+        self.throttled += o.throttled;
+        self.requests_interval += o.requests_interval;
+        self.requests_idle += o.requests_idle;
+    }
+}
+
+/// Counters owned by one MPI pump (dedicated actor or inline duty).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpiCounters {
+    pub sent: u64,
+    pub received: u64,
+    pub pump_time: WallNs,
+    /// High-water mark of the node's outbound MPI queue.
+    pub outbox_hwm: u64,
+}
+
+impl MpiCounters {
+    pub fn merge(&mut self, o: &MpiCounters) {
+        self.sent += o.sent;
+        self.received += o.received;
+        self.pump_time += o.pump_time;
+        self.outbox_hwm = self.outbox_hwm.max(o.outbox_hwm);
+    }
+}
+
+/// A point on the run's progress curve, sampled at GVT rounds by worker 0;
+/// the report derives the steady-state committed rate from these (excluding
+/// warm-up and the termination tail).
+#[derive(Clone, Copy, Debug)]
+pub struct ProgressSample {
+    pub gvt: f64,
+    pub wall: WallNs,
+    pub committed: u64,
+}
+
+/// One completed GVT round, for the CA-GVT mode trace (paper §6).
+#[derive(Clone, Copy, Debug)]
+pub struct GvtRoundRecord {
+    pub round: u64,
+    pub gvt: f64,
+    /// Was the round executed with CA-GVT's synchronization enabled?
+    pub synchronous: bool,
+    /// Cumulative efficiency observed at the end of the round.
+    pub efficiency: f64,
+}
+
+/// Cluster-shared statistics and live signals.
+///
+/// The atomics are written on hot paths (event commit/rollback, message
+/// send/receive) and read by CA-GVT's efficiency check, the test oracle,
+/// and the final report.
+pub struct SharedStats {
+    pub committed: AtomicU64,
+    pub processed: AtomicU64,
+    pub rolled_back: AtomicU64,
+    /// Regional + remote messages handed to a channel (events and antis).
+    pub msgs_sent: AtomicU64,
+    /// Regional + remote messages drained by their destination worker.
+    pub msgs_received: AtomicU64,
+    /// Per-worker published LVT (ordered bits of the last processed event
+    /// time) — the paper's disparity metric samples these.
+    pub worker_lvts: Vec<AtomicU64>,
+    /// Per-worker published GVT contribution (ordered bits of the minimum
+    /// pending event time), used by the test oracle.
+    pub worker_contrib: Vec<AtomicU64>,
+    /// Std-dev of worker LVTs, one sample per GVT round.
+    pub disparity: Mutex<Welford>,
+    /// Final per-worker counters, deposited at shutdown.
+    pub worker_deposits: Mutex<Vec<WorkerCounters>>,
+    /// Final per-pump counters.
+    pub mpi_deposits: Mutex<Vec<MpiCounters>>,
+    /// CA-GVT round trace.
+    pub gvt_trace: Mutex<Vec<GvtRoundRecord>>,
+    /// Progress curve samples (one per GVT round, recorded by worker 0).
+    pub progress: Mutex<Vec<ProgressSample>>,
+    /// XOR-combined fingerprint of all final LP states (workers fold their
+    /// LPs in with [`fetch_xor`](AtomicU64::fetch_xor) at shutdown);
+    /// compared against the sequential reference by the equivalence tests.
+    pub state_fp: AtomicU64,
+}
+
+impl SharedStats {
+    pub fn new(total_workers: u32) -> Self {
+        SharedStats {
+            committed: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            rolled_back: AtomicU64::new(0),
+            msgs_sent: AtomicU64::new(0),
+            msgs_received: AtomicU64::new(0),
+            worker_lvts: (0..total_workers)
+                .map(|_| AtomicU64::new(VirtualTime::ZERO.to_ordered_bits()))
+                .collect(),
+            worker_contrib: (0..total_workers)
+                .map(|_| AtomicU64::new(VirtualTime::ZERO.to_ordered_bits()))
+                .collect(),
+            disparity: Mutex::new(Welford::new()),
+            worker_deposits: Mutex::new(Vec::new()),
+            mpi_deposits: Mutex::new(Vec::new()),
+            gvt_trace: Mutex::new(Vec::new()),
+            progress: Mutex::new(Vec::new()),
+            state_fp: AtomicU64::new(0),
+        }
+    }
+
+    /// Cumulative efficiency: committed / (committed + rolled back), the
+    /// paper's committed-over-generated ratio. 1.0 before any activity.
+    pub fn efficiency(&self) -> f64 {
+        let committed = self.committed.load(Ordering::Relaxed) as f64;
+        let rolled = self.rolled_back.load(Ordering::Relaxed) as f64;
+        if committed + rolled == 0.0 {
+            1.0
+        } else {
+            committed / (committed + rolled)
+        }
+    }
+
+    /// Sample the published worker LVTs and record the round's disparity
+    /// (population std-dev), as in the paper's §4 metric.
+    pub fn sample_disparity(&self) {
+        let mut w = Welford::new();
+        for lvt in &self.worker_lvts {
+            let t = VirtualTime::from_ordered_bits(lvt.load(Ordering::Relaxed));
+            if t.is_finite() {
+                w.push(t.as_f64());
+            }
+        }
+        self.disparity.lock().push(w.std_dev());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_starts_at_one_and_tracks_counts() {
+        let s = SharedStats::new(2);
+        assert_eq!(s.efficiency(), 1.0);
+        s.committed.store(90, Ordering::Relaxed);
+        s.rolled_back.store(10, Ordering::Relaxed);
+        assert!((s.efficiency() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disparity_sampling_uses_population_std_dev() {
+        let s = SharedStats::new(4);
+        for (i, t) in [2.0, 4.0, 4.0, 6.0].iter().enumerate() {
+            s.worker_lvts[i].store(VirtualTime::new(*t).to_ordered_bits(), Ordering::Relaxed);
+        }
+        s.sample_disparity();
+        let d = s.disparity.lock();
+        assert_eq!(d.count(), 1);
+        // mean 4, deviations [-2,0,0,2] -> variance 2 -> std ~1.414
+        assert!((d.mean() - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = WorkerCounters { processed: 10, committed: 5, gvt_time: WallNs(100), ..Default::default() };
+        let b = WorkerCounters { processed: 3, rolled_back: 2, gvt_time: WallNs(50), ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.processed, 13);
+        assert_eq!(a.committed, 5);
+        assert_eq!(a.rolled_back, 2);
+        assert_eq!(a.gvt_time, WallNs(150));
+
+        let mut m = MpiCounters { sent: 1, outbox_hwm: 10, ..Default::default() };
+        m.merge(&MpiCounters { sent: 2, outbox_hwm: 7, ..Default::default() });
+        assert_eq!(m.sent, 3);
+        assert_eq!(m.outbox_hwm, 10);
+    }
+}

@@ -1,0 +1,88 @@
+//! Minimal PHOLD-style model for engine and algorithm tests.
+//!
+//! Public (not `cfg(test)`) because downstream crates' test suites reuse it
+//! to exercise the engine against the sequential reference without pulling
+//! in the full model zoo from `cagvt-models`.
+
+use cagvt_base::ids::LpId;
+use cagvt_base::rng::Pcg32;
+
+use crate::model::{Emitter, EventCtx, Model};
+
+/// Each event re-sends one event to a random LP after `lookahead + Exp(1)`;
+/// a configurable fraction of destinations is drawn cluster-wide (remote
+/// pressure), the rest within a window near the sender (regional/local
+/// pressure). State tracks an order-sensitive checksum, so any processing
+/// divergence from the reference changes the fingerprint.
+#[derive(Clone, Copy, Debug)]
+pub struct MiniHold {
+    /// Minimum timestamp increment (keeps virtual time advancing).
+    pub lookahead: f64,
+    /// Probability that a destination is drawn uniformly cluster-wide.
+    pub far_fraction: f64,
+    /// Destination window (in LP ids) for near sends.
+    pub near_window: u32,
+    /// EPG work units reported per event.
+    pub epg: u64,
+}
+
+impl Default for MiniHold {
+    fn default() -> Self {
+        MiniHold { lookahead: 0.1, far_fraction: 0.2, near_window: 4, epg: 1_000 }
+    }
+}
+
+impl Model for MiniHold {
+    type State = MiniHoldState;
+    type Payload = u32;
+
+    fn init_state(&self, _lp: LpId, _rng: &mut Pcg32) -> MiniHoldState {
+        MiniHoldState { count: 0, checksum: 0 }
+    }
+
+    fn initial_events(
+        &self,
+        lp: LpId,
+        _state: &mut MiniHoldState,
+        rng: &mut Pcg32,
+        emit: &mut Emitter<u32>,
+    ) {
+        emit.emit(lp, self.lookahead + rng.next_exp(1.0), lp.0);
+    }
+
+    fn handle(
+        &self,
+        ctx: &EventCtx,
+        state: &mut MiniHoldState,
+        payload: &u32,
+        rng: &mut Pcg32,
+        emit: &mut Emitter<u32>,
+    ) -> u64 {
+        state.count += 1;
+        state.checksum = state
+            .checksum
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(*payload as u64)
+            .wrapping_add(ctx.now.as_f64().to_bits());
+        let dst = if rng.next_f64() < self.far_fraction {
+            LpId(rng.next_bounded(ctx.total_lps))
+        } else {
+            let window = self.near_window.min(ctx.total_lps);
+            let base = ctx.self_lp.0;
+            LpId((base + rng.next_bounded(window)) % ctx.total_lps)
+        };
+        emit.emit(dst, self.lookahead + rng.next_exp(1.0), payload.wrapping_add(1));
+        self.epg
+    }
+
+    fn state_fingerprint(&self, state: &MiniHoldState) -> u64 {
+        state.count.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ state.checksum
+    }
+}
+
+/// State of a [`MiniHold`] LP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MiniHoldState {
+    pub count: u64,
+    pub checksum: u64,
+}

@@ -1,0 +1,190 @@
+//! Property tests for LP rollback: arbitrary interleavings of processing
+//! and rollbacks always restore exact state, and replay converges to the
+//! in-order execution.
+
+use cagvt_base::ids::{EventId, LpId};
+use cagvt_base::rng::Pcg32;
+use cagvt_base::time::VirtualTime;
+use cagvt_core::event::{Event, EventKey};
+use cagvt_core::lp::{LpRuntime, RollbackStrategy, SentRecord};
+use cagvt_core::model::{Emitter, EventCtx, Model};
+use proptest::prelude::*;
+
+/// Model whose state is an order-sensitive hash of everything processed,
+/// consuming randomness each event (so restored RNG state is observable).
+#[derive(Clone)]
+struct HashModel;
+
+impl Model for HashModel {
+    type State = u64;
+    type Payload = u32;
+
+    fn init_state(&self, lp: LpId, _rng: &mut Pcg32) -> u64 {
+        lp.0 as u64
+    }
+    fn initial_events(&self, _lp: LpId, _s: &mut u64, _r: &mut Pcg32, _e: &mut Emitter<u32>) {}
+    fn handle(
+        &self,
+        ctx: &EventCtx,
+        state: &mut u64,
+        payload: &u32,
+        rng: &mut Pcg32,
+        emit: &mut Emitter<u32>,
+    ) -> u64 {
+        *state = state
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(*payload as u64)
+            .wrapping_add(rng.next_u32() as u64)
+            .wrapping_add(ctx.now.as_f64().to_bits());
+        emit.emit(ctx.self_lp, 0.1 + rng.next_f64(), payload + 1);
+        1
+    }
+    fn state_fingerprint(&self, state: &u64) -> u64 {
+        *state
+    }
+
+    fn supports_reverse(&self) -> bool {
+        true
+    }
+
+    fn reverse(&self, ctx: &EventCtx, state: &mut u64, payload: &u32, rng: &mut Pcg32) {
+        // Inverse of the forward fold; the scratch generator re-derives
+        // the forward pass's draw.
+        const FNV_INV: u64 = 0xCE96_5057_AFF6_957B;
+        let draw = rng.next_u32() as u64;
+        *state = state
+            .wrapping_sub(ctx.now.as_f64().to_bits())
+            .wrapping_sub(draw)
+            .wrapping_sub(*payload as u64)
+            .wrapping_mul(FNV_INV);
+    }
+}
+
+fn strategies() -> [RollbackStrategy; 5] {
+    [
+        RollbackStrategy::Snapshot,
+        RollbackStrategy::Reverse,
+        RollbackStrategy::PeriodicSnapshot(1),
+        RollbackStrategy::PeriodicSnapshot(3),
+        RollbackStrategy::PeriodicSnapshot(64),
+    ]
+}
+
+fn ctx(t: f64) -> EventCtx {
+    EventCtx {
+        now: VirtualTime::new(t),
+        self_lp: LpId(0),
+        end_time: VirtualTime::new(1e9),
+        total_lps: 1,
+    }
+}
+
+fn make_events(times: &[u16]) -> Vec<Event<u32>> {
+    let mut sorted: Vec<u16> = times.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| Event {
+            recv_time: VirtualTime::new(t as f64 + 1.0),
+            dst: LpId(0),
+            id: EventId::new(LpId(9), i as u64),
+            payload: t as u32,
+        })
+        .collect()
+}
+
+fn process(lp: &mut LpRuntime<HashModel>, e: Event<u32>) {
+    let t = e.recv_time.as_f64();
+    let mut em = Emitter::new();
+    lp.process(&HashModel, &ctx(t), e, &mut em);
+    let sends: Vec<(LpId, f64)> = em.take().map(|(d, dl, _)| (d, dl)).collect();
+    let mut recs = Vec::new();
+    for (dst, delay) in sends {
+        recs.push(SentRecord {
+            dst,
+            recv_time: VirtualTime::new(t + delay),
+            id: EventId::new(LpId(0), lp.next_seq()),
+        });
+    }
+    lp.record_sends(recs);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Process a prefix, roll back to an arbitrary point, replay: the
+    /// final state equals processing everything in order once.
+    #[test]
+    fn rollback_replay_converges(
+        times in prop::collection::vec(0u16..500, 2..40),
+        cut in any::<u16>(),
+        seed in any::<u64>(),
+    ) {
+        let events = make_events(&times);
+
+        // Ground truth: straight-through processing.
+        let mut truth = LpRuntime::<HashModel>::new(LpId(0), &HashModel, seed);
+        for e in &events {
+            process(&mut truth, e.clone());
+        }
+
+        for strategy in strategies() {
+            // Optimistic: process everything, then roll back to a random
+            // cut and replay the tail — under every rollback strategy.
+            let mut lp = LpRuntime::<HashModel>::with_strategy(
+                LpId(0),
+                &HashModel,
+                seed,
+                strategy,
+                cagvt_base::VirtualTime::new(1e9),
+                1,
+            );
+            for e in &events {
+                process(&mut lp, e.clone());
+            }
+            let cut_idx = (cut as usize) % events.len();
+            let cut_key = EventKey {
+                t: events[cut_idx].recv_time,
+                id: EventId::new(LpId(0), 0), // below any real id at that time
+            };
+            let rb = lp.rollback_to(&HashModel, cut_key);
+            // Everything from cut_idx (inclusive, because its key is above
+            // the synthetic cut key) must have been undone.
+            prop_assert_eq!(rb.undone as usize, events.len() - cut_idx, "{:?}", strategy);
+            prop_assert_eq!(rb.antis.len(), rb.undone as usize, "one send each");
+
+            let mut replay = rb.reenqueue;
+            replay.sort_by_key(|e| e.key());
+            for e in replay {
+                process(&mut lp, e);
+            }
+            prop_assert_eq!(lp.state, truth.state, "state must converge ({:?})", strategy);
+            prop_assert_eq!(lp.rng, truth.rng, "rng must converge ({:?})", strategy);
+            prop_assert_eq!(lp.lvt(), truth.lvt());
+        }
+    }
+
+    /// Fossil collection frees exactly the events strictly below GVT and
+    /// never affects the LP's forward state.
+    #[test]
+    fn fossil_frees_prefix_only(
+        times in prop::collection::vec(0u16..500, 1..40),
+        gvt_tenths in 0u32..6000,
+        seed in any::<u64>(),
+    ) {
+        let events = make_events(&times);
+        let mut lp = LpRuntime::<HashModel>::new(LpId(0), &HashModel, seed);
+        for e in &events {
+            process(&mut lp, e.clone());
+        }
+        let state_before = lp.state;
+        let gvt = VirtualTime::new(gvt_tenths as f64 / 10.0);
+        let committed = lp.fossil_collect(gvt);
+        let expected = events.iter().filter(|e| e.recv_time < gvt).count() as u64;
+        prop_assert_eq!(committed, expected);
+        prop_assert_eq!(lp.state, state_before);
+        prop_assert_eq!(lp.history_len() as u64, events.len() as u64 - expected);
+    }
+}

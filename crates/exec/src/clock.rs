@@ -1,0 +1,57 @@
+//! Shared wall clock for the thread runtime.
+
+use cagvt_base::time::WallNs;
+use std::time::Instant;
+
+/// Monotonic nanoseconds since runtime start, shared by all actor threads
+/// so their `now` values are mutually coherent.
+#[derive(Debug)]
+pub struct RealClock {
+    start: Instant,
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RealClock {
+    pub fn new() -> Self {
+        RealClock { start: Instant::now() }
+    }
+
+    #[inline]
+    pub fn now(&self) -> WallNs {
+        WallNs(self.start.elapsed().as_nanos() as u64)
+    }
+
+    /// Busy-wait until the clock reaches `until`. Used to realize modeled
+    /// step costs in real time.
+    pub fn spin_until(&self, until: WallNs) {
+        while self.now() < until {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = RealClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn spin_until_reaches_target() {
+        let c = RealClock::new();
+        let target = c.now() + WallNs(200_000); // 0.2 ms
+        c.spin_until(target);
+        assert!(c.now() >= target);
+    }
+}

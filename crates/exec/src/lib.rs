@@ -1,0 +1,25 @@
+//! Execution substrates for CA-GVT actors.
+//!
+//! The engine's workers and MPI threads are non-blocking state machines
+//! ([`cagvt_base::Actor`]); this crate provides the two ways of driving
+//! them:
+//!
+//! * [`VirtualScheduler`] — the reproduction substrate. Maintains one
+//!   virtual wall-clock per actor and always steps the actor whose clock is
+//!   smallest, advancing it by the step's reported cost. This yields the
+//!   interleaving a real cluster would produce under the
+//!   [`cagvt_net::CostModel`](../cagvt_net/spec/struct.CostModel.html)
+//!   costs — deterministically, on a single host core, at any modeled
+//!   cluster size.
+//! * [`ThreadRuntime`] — one OS thread per actor, for running the library
+//!   as an actual parallel simulator. Costs are *realized* by spinning the
+//!   reported duration, so modeled delays (message latencies, lock holds)
+//!   stay meaningful in real time.
+
+pub mod clock;
+pub mod thread_rt;
+pub mod virtual_sched;
+
+pub use clock::RealClock;
+pub use thread_rt::{ThreadConfig, ThreadRuntime};
+pub use virtual_sched::{VirtualConfig, VirtualRunStats, VirtualScheduler};

@@ -1,0 +1,311 @@
+//! Deterministic virtual-cluster scheduler.
+
+use cagvt_base::actor::{Actor, StepOutcome};
+use cagvt_base::time::WallNs;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Tunables of the virtual scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct VirtualConfig {
+    /// Minimum clock advance for a step that reported zero cost. Keeps
+    /// virtual time strictly advancing so idle polling cannot livelock the
+    /// scheduler.
+    pub min_advance: WallNs,
+    /// Hard stop: abandon the run if any actor's clock would exceed this.
+    /// `None` trusts the actors to terminate.
+    pub horizon: Option<WallNs>,
+    /// Hard stop on total step count (debugging aid).
+    pub max_steps: Option<u64>,
+}
+
+impl Default for VirtualConfig {
+    fn default() -> Self {
+        VirtualConfig { min_advance: WallNs(50), horizon: None, max_steps: None }
+    }
+}
+
+/// Outcome of a virtual run.
+#[derive(Clone, Copy, Debug)]
+pub struct VirtualRunStats {
+    /// Wall-clock instant at which the last actor finished — the simulated
+    /// makespan of the run.
+    pub final_time: WallNs,
+    /// Total actor steps executed.
+    pub steps: u64,
+    /// Steps that reported [`StepOutcome::Idle`].
+    pub idle_steps: u64,
+    /// False if the run was cut off by `horizon` or `max_steps`.
+    pub completed: bool,
+}
+
+/// Drives a set of actors in virtual time.
+///
+/// Invariant: the actor stepped next is always the one with the minimum
+/// clock (ties broken by [`ActorId`](cagvt_base::ActorId)), so all shared
+/// state mutations happen in a globally ordered, reproducible sequence.
+pub struct VirtualScheduler {
+    cfg: VirtualConfig,
+}
+
+impl VirtualScheduler {
+    pub fn new(cfg: VirtualConfig) -> Self {
+        VirtualScheduler { cfg }
+    }
+
+    /// Run the actors to completion (all [`StepOutcome::Done`]) or until a
+    /// safety valve triggers.
+    pub fn run(&self, mut actors: Vec<Box<dyn Actor>>) -> VirtualRunStats {
+        assert!(!actors.is_empty(), "no actors to schedule");
+        // Heap of (clock, actor-id, slot) — min-first via Reverse.
+        let mut heap: BinaryHeap<Reverse<(u64, u32, usize)>> = actors
+            .iter()
+            .enumerate()
+            .map(|(slot, a)| Reverse((0u64, a.id().0, slot)))
+            .collect();
+
+        let mut live = actors.len();
+        let mut steps = 0u64;
+        let mut idle_steps = 0u64;
+        let mut final_time = WallNs::ZERO;
+        let mut completed = true;
+
+        while live > 0 {
+            if let Some(max) = self.cfg.max_steps {
+                if steps >= max {
+                    completed = false;
+                    break;
+                }
+            }
+            let Reverse((clock, id, slot)) = heap.pop().expect("live > 0 implies non-empty heap");
+            let now = WallNs(clock);
+            if let Some(horizon) = self.cfg.horizon {
+                if now > horizon {
+                    completed = false;
+                    break;
+                }
+            }
+            let result = actors[slot].step(now);
+            steps += 1;
+            match result.outcome {
+                StepOutcome::Done => {
+                    live -= 1;
+                    final_time = final_time.max(now);
+                }
+                outcome => {
+                    if outcome == StepOutcome::Idle {
+                        idle_steps += 1;
+                    }
+                    let advance = result.cost.max(self.cfg.min_advance);
+                    heap.push(Reverse((clock + advance.0, id, slot)));
+                }
+            }
+        }
+
+        VirtualRunStats { final_time, steps, idle_steps, completed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagvt_base::actor::StepResult;
+    use cagvt_base::ids::ActorId;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Appends (actor, step-time) to a shared trace; finishes after `n`
+    /// steps of fixed cost.
+    struct Tracer {
+        id: ActorId,
+        cost: WallNs,
+        left: u32,
+        trace: Arc<parking_lot::Mutex<Vec<(u32, u64)>>>,
+    }
+
+    impl Actor for Tracer {
+        fn id(&self) -> ActorId {
+            self.id
+        }
+        fn step(&mut self, now: WallNs) -> StepResult {
+            if self.left == 0 {
+                return StepResult::done();
+            }
+            self.left -= 1;
+            self.trace.lock().push((self.id.0, now.0));
+            StepResult::progress(self.cost)
+        }
+    }
+
+    #[test]
+    fn steps_lowest_clock_first() {
+        let trace = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let actors: Vec<Box<dyn Actor>> = vec![
+            Box::new(Tracer { id: ActorId(0), cost: WallNs(100), left: 3, trace: trace.clone() }),
+            Box::new(Tracer { id: ActorId(1), cost: WallNs(30), left: 10, trace: trace.clone() }),
+        ];
+        let stats = VirtualScheduler::new(VirtualConfig::default()).run(actors);
+        assert!(stats.completed);
+        let t = trace.lock();
+        // Times must be globally non-decreasing: min-clock-first scheduling.
+        for w in t.windows(2) {
+            assert!(w[0].1 <= w[1].1, "out of order: {:?}", *t);
+        }
+        // Actor 1 (cheap steps) runs several times between actor 0's steps.
+        assert_eq!(t.iter().filter(|(id, _)| *id == 1).count(), 10);
+    }
+
+    #[test]
+    fn ties_break_by_actor_id_deterministically() {
+        let run = || {
+            let trace = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let actors: Vec<Box<dyn Actor>> = (0..4)
+                .map(|i| {
+                    Box::new(Tracer {
+                        id: ActorId(i),
+                        cost: WallNs(10),
+                        left: 5,
+                        trace: trace.clone(),
+                    }) as Box<dyn Actor>
+                })
+                .collect();
+            VirtualScheduler::new(VirtualConfig::default()).run(actors);
+            let t = trace.lock().clone();
+            t
+        };
+        assert_eq!(run(), run(), "identical inputs must produce identical schedules");
+    }
+
+    #[test]
+    fn zero_cost_steps_still_advance() {
+        struct Zeno {
+            id: ActorId,
+            left: u32,
+        }
+        impl Actor for Zeno {
+            fn id(&self) -> ActorId {
+                self.id
+            }
+            fn step(&mut self, _now: WallNs) -> StepResult {
+                if self.left == 0 {
+                    return StepResult::done();
+                }
+                self.left -= 1;
+                StepResult::progress(WallNs::ZERO)
+            }
+        }
+        let stats = VirtualScheduler::new(VirtualConfig::default())
+            .run(vec![Box::new(Zeno { id: ActorId(0), left: 100 })]);
+        assert!(stats.completed);
+        // 100 zero-cost steps advanced by min_advance each.
+        assert_eq!(stats.final_time, WallNs(100 * 50));
+    }
+
+    #[test]
+    fn horizon_cuts_off_runaway_actors() {
+        struct Forever {
+            id: ActorId,
+        }
+        impl Actor for Forever {
+            fn id(&self) -> ActorId {
+                self.id
+            }
+            fn step(&mut self, _now: WallNs) -> StepResult {
+                StepResult::idle(WallNs(1_000))
+            }
+        }
+        let cfg = VirtualConfig { horizon: Some(WallNs(100_000)), ..Default::default() };
+        let stats = VirtualScheduler::new(cfg).run(vec![Box::new(Forever { id: ActorId(0) })]);
+        assert!(!stats.completed);
+        assert!(stats.idle_steps > 0);
+    }
+
+    #[test]
+    fn max_steps_valve() {
+        struct Forever {
+            id: ActorId,
+        }
+        impl Actor for Forever {
+            fn id(&self) -> ActorId {
+                self.id
+            }
+            fn step(&mut self, _now: WallNs) -> StepResult {
+                StepResult::progress(WallNs(1))
+            }
+        }
+        let cfg = VirtualConfig { max_steps: Some(500), ..Default::default() };
+        let stats = VirtualScheduler::new(cfg).run(vec![Box::new(Forever { id: ActorId(0) })]);
+        assert!(!stats.completed);
+        assert_eq!(stats.steps, 500);
+    }
+
+    #[test]
+    fn message_passing_respects_deliver_times() {
+        use cagvt_net::Mailbox;
+
+        // Sender posts 10 messages spaced 1us apart in simulated time with
+        // 5us propagation; receiver records the clock at which it observed
+        // each. Observation must never precede deliver_at.
+        struct Sender {
+            id: ActorId,
+            mb: Arc<Mailbox<u64>>,
+            next: u32,
+        }
+        impl Actor for Sender {
+            fn id(&self) -> ActorId {
+                self.id
+            }
+            fn step(&mut self, now: WallNs) -> StepResult {
+                if self.next == 10 {
+                    return StepResult::done();
+                }
+                let deliver_at = now + WallNs(5_000);
+                self.mb.push(deliver_at, deliver_at.0);
+                self.next += 1;
+                StepResult::progress(WallNs(1_000))
+            }
+        }
+        struct Receiver {
+            id: ActorId,
+            mb: Arc<Mailbox<u64>>,
+            got: u32,
+            violations: Arc<AtomicU64>,
+        }
+        impl Actor for Receiver {
+            fn id(&self) -> ActorId {
+                self.id
+            }
+            fn step(&mut self, now: WallNs) -> StepResult {
+                if self.got == 10 {
+                    return StepResult::done();
+                }
+                match self.mb.pop_ready(now) {
+                    Some(deliver_at) => {
+                        if now.0 < deliver_at {
+                            self.violations.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.got += 1;
+                        StepResult::progress(WallNs(200))
+                    }
+                    None => StepResult::idle(WallNs(100)),
+                }
+            }
+        }
+
+        let mb = Arc::new(Mailbox::new());
+        let violations = Arc::new(AtomicU64::new(0));
+        let actors: Vec<Box<dyn Actor>> = vec![
+            Box::new(Sender { id: ActorId(0), mb: mb.clone(), next: 0 }),
+            Box::new(Receiver {
+                id: ActorId(1),
+                mb: mb.clone(),
+                got: 0,
+                violations: violations.clone(),
+            }),
+        ];
+        let stats = VirtualScheduler::new(VirtualConfig::default()).run(actors);
+        assert!(stats.completed);
+        assert_eq!(violations.load(Ordering::Relaxed), 0);
+        assert!(mb.is_empty());
+    }
+}

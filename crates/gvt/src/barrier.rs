@@ -1,0 +1,292 @@
+//! Synchronous Barrier GVT (paper Algorithm 1, Figure 1).
+//!
+//! When a round starts, every worker stops processing events and loops:
+//! drain incoming messages (the engine does this at the top of every
+//! worker step, blocked or not), contribute its cumulative
+//! `sent - received` to a two-level sum reduction, and repeat until the
+//! cluster-wide total — the number of in-transit messages — is zero. A
+//! final two-level min reduction over worker LVTs then yields the new GVT.
+//! Workers are blocked for the whole round; the dominant cost is idle
+//! barrier time, which grows with message load (the paper's
+//! communication-dominated slowdown) and with event granularity (stragglers
+//! into the barrier).
+
+use cagvt_base::ids::{LaneId, NodeId};
+use cagvt_base::time::{VirtualTime, WallNs};
+use cagvt_core::gvt::{GvtBundle, GvtSharedCore, MpiGvt, WorkerGvt, WorkerGvtCtx, WorkerGvtOutcome};
+use cagvt_net::{ClusterSpec, CostModel, MsgClass};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use crate::common::{try_join_round, TwoLevelReduce};
+
+/// Shared state of one Barrier GVT run.
+pub struct BarrierShared {
+    core: Arc<GvtSharedCore>,
+    reduce: TwoLevelReduce,
+    rounds_started: AtomicU64,
+    cost: CostModel,
+    nodes: u16,
+}
+
+/// Bundle factory for Barrier GVT.
+pub struct BarrierBundle {
+    shared: Arc<BarrierShared>,
+}
+
+impl BarrierBundle {
+    pub fn new(core: Arc<GvtSharedCore>, spec: ClusterSpec, cost: CostModel) -> Self {
+        BarrierBundle {
+            shared: Arc::new(BarrierShared {
+                core,
+                reduce: TwoLevelReduce::new(spec.nodes, spec.workers_per_node),
+                rounds_started: AtomicU64::new(0),
+                cost,
+                nodes: spec.nodes,
+            }),
+        }
+    }
+}
+
+impl GvtBundle for BarrierBundle {
+    fn name(&self) -> &'static str {
+        "barrier"
+    }
+
+    fn worker_gvt(&self, node: NodeId, _lane: LaneId, _worker_index: u32) -> Box<dyn WorkerGvt> {
+        Box::new(BarrierWorker {
+            shared: Arc::clone(&self.shared),
+            node,
+            rounds_done: 0,
+            sent: 0,
+            received: 0,
+            state: State::Idle,
+        })
+    }
+
+    fn mpi_gvt(&self, node: NodeId) -> Box<dyn MpiGvt> {
+        Box::new(BarrierMpi { shared: Arc::clone(&self.shared), node })
+    }
+}
+
+enum State {
+    /// No round in progress.
+    Idle,
+    /// Waiting for the two-level sum of `msgCount` (drain loop).
+    WaitSum(u64),
+    /// Waiting for the two-level min of LVTs.
+    WaitMin(u64),
+}
+
+/// Worker half of Barrier GVT.
+pub struct BarrierWorker {
+    shared: Arc<BarrierShared>,
+    node: NodeId,
+    rounds_done: u64,
+    /// Cumulative channel messages sent / received by this worker
+    /// (Algorithm 1's `LP.MsgSent` / `LP.MsgReceived`).
+    sent: u64,
+    received: u64,
+    state: State,
+}
+
+impl WorkerGvt for BarrierWorker {
+    fn on_send(&mut self, _class: MsgClass, _recv_time: VirtualTime) -> u64 {
+        self.sent += 1;
+        0
+    }
+
+    fn on_recv(&mut self, _tag: u64, _class: MsgClass) {
+        self.received += 1;
+    }
+
+    fn step(&mut self, ctx: &WorkerGvtCtx) -> WorkerGvtOutcome {
+        let cost = &self.shared.cost;
+        match self.state {
+            State::Idle => {
+                if try_join_round(&self.shared.core, &self.shared.rounds_started, self.rounds_done)
+                {
+                    let msg_count = self.sent as i64 - self.received as i64;
+                    let gen = self.shared.reduce.arrive(self.node, msg_count, u64::MAX);
+                    self.state = State::WaitSum(gen);
+                    WorkerGvtOutcome::Blocked(cost.node_barrier_arrival)
+                } else {
+                    WorkerGvtOutcome::Quiet
+                }
+            }
+            State::WaitSum(gen) => match self.shared.reduce.poll(self.node, gen) {
+                None => WorkerGvtOutcome::Blocked(cost.idle_poll),
+                Some(v) => {
+                    if v.sum == 0 {
+                        // All in-transit messages received: reduce LVTs.
+                        let gen =
+                            self.shared.reduce.arrive(self.node, 0, ctx.lvt.to_ordered_bits());
+                        self.state = State::WaitMin(gen);
+                    } else {
+                        // Still in transit: drain (engine does it each
+                        // step) and re-reduce.
+                        let msg_count = self.sent as i64 - self.received as i64;
+                        let gen = self.shared.reduce.arrive(self.node, msg_count, u64::MAX);
+                        self.state = State::WaitSum(gen);
+                    }
+                    WorkerGvtOutcome::Blocked(cost.node_barrier_arrival)
+                }
+            },
+            State::WaitMin(gen) => match self.shared.reduce.poll(self.node, gen) {
+                None => WorkerGvtOutcome::Blocked(cost.idle_poll),
+                Some(v) => {
+                    let gvt = VirtualTime::from_ordered_bits(v.min);
+                    self.rounds_done += 1;
+                    self.state = State::Idle;
+                    // First completer publishes for the cluster.
+                    if self.shared.core.published_round() < self.rounds_done {
+                        self.shared.core.publish(gvt, self.rounds_done);
+                    }
+                    WorkerGvtOutcome::Completed { gvt, cost: cost.node_barrier_arrival }
+                }
+            },
+        }
+    }
+}
+
+/// MPI half: relays node reductions through the cluster collective.
+pub struct BarrierMpi {
+    shared: Arc<BarrierShared>,
+    node: NodeId,
+}
+
+impl MpiGvt for BarrierMpi {
+    fn step(&mut self, now: WallNs) -> WallNs {
+        let latency = self.shared.cost.collective_latency(self.shared.nodes);
+        let ops = self.shared.reduce.pump(self.node, now, latency);
+        WallNs(self.shared.cost.mpi_send.0 * ops as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagvt_core::stats::SharedStats;
+    use cagvt_core::WorkerGvtOutcome;
+
+    fn setup(nodes: u16, wpn: u16) -> (Arc<GvtSharedCore>, BarrierBundle) {
+        let stats = Arc::new(SharedStats::new((nodes * wpn) as u32));
+        let core = Arc::new(GvtSharedCore::new(stats, nodes, wpn));
+        let spec = ClusterSpec::new(nodes, wpn, cagvt_net::MpiMode::Dedicated);
+        let bundle = BarrierBundle::new(Arc::clone(&core), spec, CostModel::knl_cluster());
+        (core, bundle)
+    }
+
+    fn ctx(lvt: f64, widx: u32) -> WorkerGvtCtx {
+        WorkerGvtCtx { now: WallNs(0), lvt: VirtualTime::new(lvt), worker_index: widx }
+    }
+
+    #[test]
+    fn quiet_until_round_requested() {
+        let (_core, bundle) = setup(1, 2);
+        let mut w = bundle.worker_gvt(NodeId(0), LaneId(0), 0);
+        assert_eq!(w.step(&ctx(1.0, 0)), WorkerGvtOutcome::Quiet);
+        assert_eq!(w.step(&ctx(1.0, 0)), WorkerGvtOutcome::Quiet);
+    }
+
+    #[test]
+    fn send_and_recv_update_cumulative_counts() {
+        let (_core, bundle) = setup(1, 1);
+        let mut w = bundle.worker_gvt(NodeId(0), LaneId(0), 0);
+        assert_eq!(w.on_send(MsgClass::Regional, VirtualTime::new(1.0)), 0);
+        assert_eq!(w.on_send(MsgClass::Remote, VirtualTime::new(2.0)), 0);
+        w.on_recv(0, MsgClass::Regional);
+        // Counts are internal; verified via the drain loop behaviour in
+        // the full-round test below.
+    }
+
+    /// Drive a complete round by hand on a 2-worker single node: first sum
+    /// iteration sees one in-flight message, second sees zero, then the
+    /// min reduction produces the GVT.
+    #[test]
+    fn full_round_with_drain_iteration() {
+        let (core, bundle) = setup(1, 2);
+        let mut w0 = bundle.worker_gvt(NodeId(0), LaneId(0), 0);
+        let mut w1 = bundle.worker_gvt(NodeId(0), LaneId(1), 1);
+        let mut mpi = bundle.mpi_gvt(NodeId(0));
+
+        // One message from w0 to w1 still in flight at round start.
+        w0.on_send(MsgClass::Regional, VirtualTime::new(3.0));
+        core.request_round();
+
+        let mut now = WallNs(0);
+        let mut delivered = false;
+        let mut completions = 0;
+        let mut gvt = VirtualTime::ZERO;
+        for _ in 0..10_000 {
+            now += WallNs(1_000);
+            // The in-flight message arrives mid-round (while blocked).
+            if !delivered && now > WallNs(20_000) {
+                w1.on_recv(0, MsgClass::Regional);
+                delivered = true;
+            }
+            for (w, lvt) in [(&mut w0, 5.0), (&mut w1, 4.0)] {
+                match w.step(&WorkerGvtCtx { now, lvt: VirtualTime::new(lvt), worker_index: 0 }) {
+                    WorkerGvtOutcome::Completed { gvt: g, .. } => {
+                        completions += 1;
+                        gvt = g;
+                    }
+                    WorkerGvtOutcome::Blocked(_) | WorkerGvtOutcome::Quiet => {}
+                    WorkerGvtOutcome::Working(_) => panic!("barrier never works asynchronously"),
+                }
+            }
+            mpi.step(now);
+            if completions == 2 {
+                break;
+            }
+        }
+        assert_eq!(completions, 2, "both workers must complete the round");
+        assert!(delivered, "the drain loop must have waited for the message");
+        assert_eq!(gvt, VirtualTime::new(4.0), "GVT = min of worker LVTs");
+        assert_eq!(core.published_gvt(), VirtualTime::new(4.0));
+        assert_eq!(core.published_round(), 1);
+        assert!(!core.round_requested(), "publication clears the request flag");
+    }
+
+    /// Two nodes: the round cannot complete until both nodes' reductions
+    /// are relayed through the cluster collective.
+    #[test]
+    fn multi_node_round_requires_both_mpi_relays() {
+        let (core, bundle) = setup(2, 1);
+        let mut w0 = bundle.worker_gvt(NodeId(0), LaneId(0), 0);
+        let mut w1 = bundle.worker_gvt(NodeId(1), LaneId(0), 1);
+        let mut mpi0 = bundle.mpi_gvt(NodeId(0));
+        let mut mpi1 = bundle.mpi_gvt(NodeId(1));
+        core.request_round();
+
+        let mut now = WallNs(0);
+        // Without node 1's relay, nothing completes.
+        for _ in 0..100 {
+            now += WallNs(1_000);
+            let _ = w0.step(&ctx(2.0, 0));
+            let _ = w1.step(&ctx(7.0, 1));
+            mpi0.step(now);
+        }
+        assert_eq!(core.published_round(), 0);
+
+        let mut completions = 0;
+        for _ in 0..10_000 {
+            now += WallNs(1_000);
+            for (w, lvt) in [(&mut w0, 2.0), (&mut w1, 7.0)] {
+                if let WorkerGvtOutcome::Completed { gvt, .. } =
+                    w.step(&WorkerGvtCtx { now, lvt: VirtualTime::new(lvt), worker_index: 0 })
+                {
+                    assert_eq!(gvt, VirtualTime::new(2.0));
+                    completions += 1;
+                }
+            }
+            mpi0.step(now);
+            mpi1.step(now);
+            if completions == 2 {
+                break;
+            }
+        }
+        assert_eq!(completions, 2);
+        assert_eq!(core.published_gvt(), VirtualTime::new(2.0));
+    }
+}

@@ -1,0 +1,716 @@
+//! Asynchronous Mattern GVT (paper Algorithm 2, Figure 2), with the
+//! optional synchronization hooks that turn it into CA-GVT (Algorithm 3).
+//!
+//! ## Coloring and counting
+//!
+//! Every message carries a *flush-round* tag: the GVT round at whose red
+//! transition the sender's local count of that message enters the shared
+//! per-node control counter. A sender that is white between rounds `r-1`
+//! and `r` tags with `r`; a sender red in round `r` tags with `r+1` (its
+//! sends belong to the *next* round's white population — this is exactly
+//! Mattern's color flip) and additionally folds the send's timestamp into
+//! its local `min_red`. Receivers decrement either the shared node counter
+//! (if they have already flushed that round) or the matching local bucket.
+//! The per-node counters are cumulative across rounds, so the cluster-wide
+//! sum at any instant after all workers have flushed round `r` equals the
+//! number of round-`≤ r` messages still in flight — and only ever
+//! decreases, which makes the ring's repeated passes a safe overestimate.
+//!
+//! ## The ring
+//!
+//! The node responsible for MPI on node 0 initiates. Pass one (`kind =
+//! SUM`) circulates a control message that each node — once all its
+//! workers are red — extends with its counter; the initiator re-circulates
+//! until the total reaches zero and then raises the drained flag. Workers
+//! that observe the flag check in their LVT and `min_red` into per-node
+//! min-slots; pass two (`kind = MIN`) folds those across nodes, and the
+//! initiator publishes `GVT = min(minLVT, minRed)`.
+//!
+//! Workers process events throughout — the asynchronous advantage the
+//! paper measures in computation-dominated workloads.
+//!
+//! ## CA-GVT hooks
+//!
+//! With [`CaExtra`] attached, a round whose preceding per-round-window
+//! efficiency fell below the threshold (or whose MPI queues ran deep, with
+//! the extended trigger) runs *synchronously*: two-level barriers align
+//! the red transition, the check-in, and the completion, bounding
+//! virtual-time disparity the way Barrier GVT does while event processing
+//! continues between the barriers. The initiator recomputes efficiency
+//! when it publishes, setting the flag for the next round, and records the
+//! round in the shared GVT trace.
+
+use cagvt_base::ids::{LaneId, NodeId};
+use cagvt_base::time::{VirtualTime, WallNs};
+use cagvt_core::gvt::{GvtBundle, GvtSharedCore, MpiGvt, WorkerGvt, WorkerGvtCtx, WorkerGvtOutcome};
+use cagvt_core::stats::GvtRoundRecord;
+use cagvt_net::{ClusterSpec, CostModel, CtrlMsg, CtrlPlane, MsgClass};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::common::{try_join_round, TwoLevelReduce};
+
+const KIND_SUM: u8 = 1;
+const KIND_MIN: u8 = 2;
+
+/// Per-node control structure (the shared-memory control message of the
+/// paper's adaptation).
+pub struct NodeCm {
+    /// Cumulative flushed-sends minus accounted-receives.
+    white: AtomicI64,
+    /// Cumulative count of round-joins by this node's workers; all have
+    /// joined round `r` when this reaches `r * workers_per_node`.
+    joined: AtomicU64,
+    /// Cumulative count of min check-ins (same convention).
+    checked: AtomicU64,
+    lvt_min: AtomicU64,
+    red_min: AtomicU64,
+}
+
+impl NodeCm {
+    fn new() -> Self {
+        NodeCm {
+            white: AtomicI64::new(0),
+            joined: AtomicU64::new(0),
+            checked: AtomicU64::new(0),
+            lvt_min: AtomicU64::new(u64::MAX),
+            red_min: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+/// CA-GVT extension state.
+pub struct CaExtra {
+    /// Reused two-level barrier for the three synchronization points.
+    pub barrier: TwoLevelReduce,
+    /// Run the next round synchronously?
+    pub sync_flag: AtomicBool,
+    /// Efficiency threshold (paper: 0.80).
+    pub threshold: f64,
+    /// Optional second trigger from the paper's concluding remarks:
+    /// synchronize when any node's outbound MPI queue occupancy exceeds
+    /// this depth (saturation shows in the queue before it shows in the
+    /// cumulative efficiency).
+    pub queue_threshold: Option<u64>,
+}
+
+/// Shared state of one Mattern / CA-GVT run.
+pub struct MatternShared {
+    core: Arc<GvtSharedCore>,
+    ctrl: Arc<CtrlPlane>,
+    cost: CostModel,
+    nodes: u16,
+    wpn: u16,
+    rounds_started: AtomicU64,
+    /// Highest round whose white population has fully drained.
+    drained_round: AtomicU64,
+    per_node: Vec<NodeCm>,
+    ca: Option<CaExtra>,
+}
+
+impl MatternShared {
+    pub fn new(
+        core: Arc<GvtSharedCore>,
+        ctrl: Arc<CtrlPlane>,
+        spec: ClusterSpec,
+        cost: CostModel,
+        ca: Option<CaExtra>,
+    ) -> Self {
+        MatternShared {
+            core,
+            ctrl,
+            cost,
+            nodes: spec.nodes,
+            wpn: spec.workers_per_node,
+            rounds_started: AtomicU64::new(0),
+            drained_round: AtomicU64::new(0),
+            per_node: (0..spec.nodes).map(|_| NodeCm::new()).collect(),
+            ca,
+        }
+    }
+
+    #[inline]
+    fn all_joined(&self, node: NodeId, round: u64) -> bool {
+        self.per_node[node.index()].joined.load(Ordering::Acquire) >= round * self.wpn as u64
+    }
+
+    #[inline]
+    fn all_checked(&self, node: NodeId, round: u64) -> bool {
+        self.per_node[node.index()].checked.load(Ordering::Acquire) >= round * self.wpn as u64
+    }
+}
+
+/// Bundle for pure Mattern GVT.
+pub struct MatternBundle {
+    shared: Arc<MatternShared>,
+}
+
+impl MatternBundle {
+    pub fn new(
+        core: Arc<GvtSharedCore>,
+        ctrl: Arc<CtrlPlane>,
+        spec: ClusterSpec,
+        cost: CostModel,
+    ) -> Self {
+        MatternBundle { shared: Arc::new(MatternShared::new(core, ctrl, spec, cost, None)) }
+    }
+
+    pub(crate) fn with_shared(shared: Arc<MatternShared>) -> Self {
+        MatternBundle { shared }
+    }
+}
+
+impl GvtBundle for MatternBundle {
+    fn name(&self) -> &'static str {
+        if self.shared.ca.is_some() {
+            "ca-gvt"
+        } else {
+            "mattern"
+        }
+    }
+
+    fn worker_gvt(&self, node: NodeId, _lane: LaneId, _worker_index: u32) -> Box<dyn WorkerGvt> {
+        Box::new(MatternWorker {
+            shared: Arc::clone(&self.shared),
+            node,
+            rounds_done: 0,
+            flushed: 0,
+            bucket_cur: 0,
+            bucket_next: 0,
+            min_red: u64::MAX,
+            sync_round: false,
+            phase: Phase::White,
+        })
+    }
+
+    fn mpi_gvt(&self, node: NodeId) -> Box<dyn MpiGvt> {
+        Box::new(MatternMpi {
+            shared: Arc::clone(&self.shared),
+            node,
+            held: None,
+            initiator: InitiatorState::Idle,
+            eff_window_base: (0, 0),
+        })
+    }
+}
+
+enum Phase {
+    /// Between rounds; counting sends/receives locally.
+    White,
+    /// CA sync point 1: aligned red transition.
+    BarrierA(u64),
+    /// Red; waiting for the white population to drain.
+    Red,
+    /// CA sync point 2: aligned check-in.
+    BarrierB(u64),
+    /// Checked in; waiting for the published GVT.
+    Checked,
+    /// CA sync point 3: aligned completion (carries the GVT).
+    BarrierC(u64, VirtualTime),
+}
+
+/// Worker half of Mattern / CA-GVT.
+pub struct MatternWorker {
+    shared: Arc<MatternShared>,
+    node: NodeId,
+    rounds_done: u64,
+    /// Rounds whose local bucket has been flushed (= `rounds_done` while
+    /// white, `rounds_done + 1` while red).
+    flushed: u64,
+    /// Net count for the next flush (round `flushed + 1`).
+    bucket_cur: i64,
+    /// Net count for the flush after that (sends made while red).
+    bucket_next: i64,
+    /// Ordered bits of the minimum red-send timestamp this round.
+    min_red: u64,
+    /// CA: is the current round synchronous?
+    sync_round: bool,
+    phase: Phase,
+}
+
+impl MatternWorker {
+    fn cm(&self) -> &NodeCm {
+        &self.shared.per_node[self.node.index()]
+    }
+
+    /// The red transition: flush the local white bucket into the node
+    /// control structure and register the join.
+    fn turn_red(&mut self) {
+        let flush = self.bucket_cur;
+        self.bucket_cur = self.bucket_next;
+        self.bucket_next = 0;
+        self.flushed = self.rounds_done + 1;
+        self.min_red = u64::MAX;
+        let cm = self.cm();
+        cm.white.fetch_add(flush, Ordering::AcqRel);
+        cm.joined.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Contribute LVT and min-red into the node's min slots.
+    fn check_in(&mut self, ctx: &WorkerGvtCtx) {
+        let cm = self.cm();
+        cm.lvt_min.fetch_min(ctx.lvt.to_ordered_bits(), Ordering::AcqRel);
+        cm.red_min.fetch_min(self.min_red, Ordering::AcqRel);
+        cm.checked.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn ca_barrier(&self) -> Option<&TwoLevelReduce> {
+        self.shared.ca.as_ref().map(|ca| &ca.barrier)
+    }
+
+    /// Non-blocked outcome for in-round bookkeeping. Event processing
+    /// continues during both modes' rounds — CA-GVT's synchronization
+    /// blocks only *at* the three barrier points, aligning the phase
+    /// transitions (paper Figure 7), not the whole round.
+    fn working(&self, cost: WallNs) -> WorkerGvtOutcome {
+        if cost == WallNs::ZERO {
+            WorkerGvtOutcome::Quiet
+        } else {
+            WorkerGvtOutcome::Working(cost)
+        }
+    }
+}
+
+impl WorkerGvt for MatternWorker {
+    fn on_send(&mut self, _class: MsgClass, recv_time: VirtualTime) -> u64 {
+        // Every send carries tag `flushed + 1` and therefore belongs to the
+        // *current* bucket (flushed at the next red transition) — also for
+        // sends made while red: they are next round's white population.
+        self.bucket_cur += 1;
+        if self.flushed > self.rounds_done {
+            // Red: additionally covered by this round's min_red.
+            self.min_red = self.min_red.min(recv_time.to_ordered_bits());
+        }
+        self.flushed + 1
+    }
+
+    fn on_recv(&mut self, tag: u64, _class: MsgClass) {
+        if tag <= self.flushed {
+            self.cm().white.fetch_sub(1, Ordering::AcqRel);
+        } else if tag == self.flushed + 1 {
+            self.bucket_cur -= 1;
+        } else {
+            debug_assert_eq!(tag, self.flushed + 2, "message from an impossible round");
+            self.bucket_next -= 1;
+        }
+    }
+
+    fn step(&mut self, ctx: &WorkerGvtCtx) -> WorkerGvtOutcome {
+        let cost = self.shared.cost;
+        let r = self.rounds_done + 1;
+        match self.phase {
+            Phase::White => {
+                if try_join_round(&self.shared.core, &self.shared.rounds_started, self.rounds_done)
+                {
+                    self.sync_round = self
+                        .shared
+                        .ca
+                        .as_ref()
+                        .map(|ca| ca.sync_flag.load(Ordering::Acquire))
+                        .unwrap_or(false);
+                    if self.sync_round {
+                        let gen = self.ca_barrier().expect("sync implies CA").arrive(
+                            self.node,
+                            0,
+                            u64::MAX,
+                        );
+                        self.phase = Phase::BarrierA(gen);
+                        return WorkerGvtOutcome::Blocked(cost.node_barrier_arrival);
+                    }
+                    self.turn_red();
+                    self.phase = Phase::Red;
+                    WorkerGvtOutcome::Working(cost.gvt_bookkeeping)
+                } else {
+                    WorkerGvtOutcome::Quiet
+                }
+            }
+            Phase::BarrierA(gen) => {
+                if self.ca_barrier().expect("CA").poll(self.node, gen).is_some() {
+                    self.turn_red();
+                    self.phase = Phase::Red;
+                    WorkerGvtOutcome::Blocked(cost.gvt_bookkeeping)
+                } else {
+                    WorkerGvtOutcome::Blocked(cost.idle_poll)
+                }
+            }
+            Phase::Red => {
+                if self.shared.drained_round.load(Ordering::Acquire) >= r {
+                    if self.sync_round {
+                        let gen = self.ca_barrier().expect("CA").arrive(self.node, 0, u64::MAX);
+                        self.phase = Phase::BarrierB(gen);
+                        return WorkerGvtOutcome::Blocked(cost.node_barrier_arrival);
+                    }
+                    self.check_in(ctx);
+                    self.phase = Phase::Checked;
+                    WorkerGvtOutcome::Working(cost.gvt_bookkeeping)
+                } else {
+                    self.working(WallNs::ZERO)
+                }
+            }
+            Phase::BarrierB(gen) => {
+                if self.ca_barrier().expect("CA").poll(self.node, gen).is_some() {
+                    self.check_in(ctx);
+                    self.phase = Phase::Checked;
+                    WorkerGvtOutcome::Blocked(cost.gvt_bookkeeping)
+                } else {
+                    WorkerGvtOutcome::Blocked(cost.idle_poll)
+                }
+            }
+            Phase::Checked => {
+                if self.shared.core.published_round() >= r {
+                    let gvt = self.shared.core.published_gvt();
+                    if self.sync_round {
+                        let gen = self.ca_barrier().expect("CA").arrive(self.node, 0, u64::MAX);
+                        self.phase = Phase::BarrierC(gen, gvt);
+                        return WorkerGvtOutcome::Blocked(cost.node_barrier_arrival);
+                    }
+                    self.rounds_done = r;
+                    self.phase = Phase::White;
+                    WorkerGvtOutcome::Completed { gvt, cost: cost.gvt_bookkeeping }
+                } else {
+                    self.working(WallNs::ZERO)
+                }
+            }
+            Phase::BarrierC(gen, gvt) => {
+                if self.ca_barrier().expect("CA").poll(self.node, gen).is_some() {
+                    self.rounds_done = r;
+                    self.phase = Phase::White;
+                    WorkerGvtOutcome::Completed { gvt, cost: cost.gvt_bookkeeping }
+                } else {
+                    WorkerGvtOutcome::Blocked(cost.idle_poll)
+                }
+            }
+        }
+    }
+}
+
+enum InitiatorState {
+    Idle,
+    /// The white-count pass is circulating for this round.
+    SumPass(u64),
+    /// Drained; waiting for the local node's check-ins before pass two.
+    AwaitChecks(u64),
+    /// The min pass is circulating.
+    MinPass(u64),
+}
+
+/// MPI half: ring circulation (node 0 initiates) plus, for CA-GVT, the
+/// barrier relays and the per-round efficiency decision.
+pub struct MatternMpi {
+    shared: Arc<MatternShared>,
+    node: NodeId,
+    /// A control message waiting for this node's local gate.
+    held: Option<CtrlMsg>,
+    initiator: InitiatorState,
+    /// Committed / rolled-back totals at the previous efficiency check
+    /// (CA-GVT uses the per-round window so the signal responds within a
+    /// workload phase; the paper's cumulative ratio barely moves at this
+    /// harness scale — see EXPERIMENTS.md).
+    eff_window_base: (u64, u64),
+}
+
+impl MatternMpi {
+    fn is_initiator(&self) -> bool {
+        self.node.0 == 0
+    }
+
+    /// Start (or restart) the white-count pass for `round`.
+    fn launch_sum_pass(&mut self, now: WallNs, round: u64) -> WallNs {
+        let shared = &self.shared;
+        let mut msg = CtrlMsg::new(KIND_SUM, round, self.node);
+        msg.sum = shared.per_node[self.node.index()].white.load(Ordering::Acquire);
+        msg.hops = 1;
+        let next = shared.ctrl.ring_next(self.node);
+        shared.ctrl.send(self.node, next, now, msg, &shared.cost);
+        shared.cost.mpi_send
+    }
+
+    /// Contribute this node's mins and start pass two.
+    fn launch_min_pass(&mut self, now: WallNs, round: u64) -> WallNs {
+        let shared = &self.shared;
+        let cm = &shared.per_node[self.node.index()];
+        let mut msg = CtrlMsg::new(KIND_MIN, round, self.node);
+        msg.min1 = cm.lvt_min.swap(u64::MAX, Ordering::AcqRel);
+        msg.min2 = cm.red_min.swap(u64::MAX, Ordering::AcqRel);
+        msg.hops = 1;
+        let next = shared.ctrl.ring_next(self.node);
+        shared.ctrl.send(self.node, next, now, msg, &shared.cost);
+        shared.cost.mpi_send
+    }
+
+    /// Publication at the initiator once pass two returns, including the
+    /// CA-GVT efficiency decision.
+    fn publish(&mut self, msg: &CtrlMsg) -> WallNs {
+        let shared = &self.shared;
+        let gvt = VirtualTime::from_ordered_bits(msg.min1.min(msg.min2));
+        let mut charge = shared.cost.gvt_bookkeeping;
+        if let Some(ca) = &shared.ca {
+            // Efficiency over the window since the previous round.
+            let committed = shared.core.stats.committed.load(Ordering::Relaxed);
+            let rolled = shared.core.stats.rolled_back.load(Ordering::Relaxed);
+            let (c0, r0) = self.eff_window_base;
+            self.eff_window_base = (committed, rolled);
+            let (dc, dr) = (committed - c0, rolled - r0);
+            let efficiency = if dc + dr == 0 {
+                shared.core.stats.efficiency()
+            } else {
+                dc as f64 / (dc + dr) as f64
+            };
+            let was_sync = ca.sync_flag.load(Ordering::Acquire);
+            let queue_high = ca
+                .queue_threshold
+                .map(|t| shared.core.max_mpi_queue_depth() > t)
+                .unwrap_or(false);
+            ca.sync_flag.store(efficiency < ca.threshold || queue_high, Ordering::Release);
+            shared.core.stats.gvt_trace.lock().push(GvtRoundRecord {
+                round: msg.round,
+                gvt: gvt.as_f64(),
+                synchronous: was_sync,
+                efficiency,
+            });
+            charge += shared.cost.efficiency_check;
+        }
+        shared.core.publish(gvt, msg.round);
+        charge
+    }
+}
+
+impl MpiGvt for MatternMpi {
+    fn step(&mut self, now: WallNs) -> WallNs {
+        let mut charge = WallNs::ZERO;
+        let shared = Arc::clone(&self.shared);
+
+        // CA barrier relays ride along every step.
+        if shared.ca.is_some() {
+            let latency = shared.cost.collective_latency(shared.nodes);
+            if let Some(ca) = &shared.ca {
+                let ops = ca.barrier.pump(self.node, now, latency);
+                charge += WallNs(shared.cost.mpi_send.0 * ops as u64);
+            }
+        }
+
+        // Initiator: kick off rounds and passes.
+        if self.is_initiator() {
+            match self.initiator {
+                InitiatorState::Idle => {
+                    let started = shared.rounds_started.load(Ordering::Acquire);
+                    if started > shared.core.published_round()
+                        && shared.all_joined(self.node, started)
+                    {
+                        charge += self.launch_sum_pass(now + charge, started);
+                        self.initiator = InitiatorState::SumPass(started);
+                    }
+                }
+                InitiatorState::AwaitChecks(round)
+                    if shared.all_checked(self.node, round) => {
+                        charge += self.launch_min_pass(now + charge, round);
+                        self.initiator = InitiatorState::MinPass(round);
+                    }
+                _ => {}
+            }
+        }
+
+        // Receive one control message if none is held.
+        if self.held.is_none() {
+            if let Some(m) = shared.ctrl.recv(self.node, now + charge) {
+                charge += shared.cost.mpi_recv;
+                self.held = Some(m);
+            }
+        }
+
+        // Act on the held message once the local gate opens.
+        if let Some(m) = self.held.take() {
+            let complete = self.is_initiator() && m.hops == shared.nodes;
+            match (m.kind, complete) {
+                (KIND_SUM, true) => {
+                    debug_assert!(
+                        matches!(self.initiator, InitiatorState::SumPass(r) if r == m.round),
+                        "sum pass round mismatch"
+                    );
+                    if m.sum == 0 {
+                        shared.drained_round.store(m.round, Ordering::Release);
+                        self.initiator = InitiatorState::AwaitChecks(m.round);
+                    } else {
+                        // Still in transit: circulate again with fresh
+                        // counter readings.
+                        charge += self.launch_sum_pass(now + charge, m.round);
+                    }
+                }
+                (KIND_SUM, false) => {
+                    if shared.all_joined(self.node, m.round) {
+                        let mut m = m;
+                        m.sum +=
+                            shared.per_node[self.node.index()].white.load(Ordering::Acquire);
+                        m.hops += 1;
+                        let next = shared.ctrl.ring_next(self.node);
+                        shared.ctrl.send(self.node, next, now + charge, m, &shared.cost);
+                        charge += shared.cost.mpi_send;
+                    } else {
+                        self.held = Some(m); // wait for local red transition
+                    }
+                }
+                (KIND_MIN, true) => {
+                    debug_assert!(
+                        matches!(self.initiator, InitiatorState::MinPass(r) if r == m.round),
+                        "min pass round mismatch"
+                    );
+                    charge += self.publish(&m);
+                    self.initiator = InitiatorState::Idle;
+                }
+                (KIND_MIN, false) => {
+                    if shared.all_checked(self.node, m.round) {
+                        let cm = &shared.per_node[self.node.index()];
+                        let mut m = m;
+                        m.min1 = m.min1.min(cm.lvt_min.swap(u64::MAX, Ordering::AcqRel));
+                        m.min2 = m.min2.min(cm.red_min.swap(u64::MAX, Ordering::AcqRel));
+                        m.hops += 1;
+                        let next = shared.ctrl.ring_next(self.node);
+                        shared.ctrl.send(self.node, next, now + charge, m, &shared.cost);
+                        charge += shared.cost.mpi_send;
+                    } else {
+                        self.held = Some(m); // wait for local check-ins
+                    }
+                }
+                _ => unreachable!("unknown control message kind"),
+            }
+        }
+
+        charge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagvt_core::stats::SharedStats;
+    use cagvt_core::WorkerGvtOutcome;
+    use cagvt_net::fabric_pair;
+
+    fn setup(nodes: u16, wpn: u16) -> (Arc<GvtSharedCore>, MatternBundle) {
+        let stats = Arc::new(SharedStats::new((nodes * wpn) as u32));
+        let core = Arc::new(GvtSharedCore::new(stats, nodes, wpn));
+        let (_fabric, ctrl) = fabric_pair::<()>(nodes);
+        let spec = ClusterSpec::new(nodes, wpn, cagvt_net::MpiMode::Dedicated);
+        let bundle =
+            MatternBundle::new(Arc::clone(&core), ctrl, spec, CostModel::knl_cluster());
+        (core, bundle)
+    }
+
+    fn ctx(now_ns: u64, lvt: f64) -> WorkerGvtCtx {
+        WorkerGvtCtx { now: WallNs(now_ns), lvt: VirtualTime::new(lvt), worker_index: 0 }
+    }
+
+    #[test]
+    fn white_sends_are_tagged_for_the_next_round() {
+        let (_core, bundle) = setup(1, 1);
+        let mut w = bundle.worker_gvt(NodeId(0), LaneId(0), 0);
+        // Never joined a round: flushed = 0, so the tag is round 1.
+        assert_eq!(w.on_send(MsgClass::Regional, VirtualTime::new(1.0)), 1);
+        assert_eq!(w.on_send(MsgClass::Remote, VirtualTime::new(2.0)), 1);
+    }
+
+    #[test]
+    fn red_sends_are_tagged_one_round_later_and_tracked_in_min_red() {
+        let (core, bundle) = setup(1, 1);
+        let mut w = bundle.worker_gvt(NodeId(0), LaneId(0), 0);
+        core.request_round();
+        // Join round 1: the red transition happens in this step.
+        assert!(matches!(w.step(&ctx(0, 5.0)), WorkerGvtOutcome::Working(_)));
+        // Red in round 1: tag = 2.
+        assert_eq!(w.on_send(MsgClass::Regional, VirtualTime::new(9.0)), 2);
+    }
+
+    /// One node, one worker: a complete round through the self-loop ring.
+    #[test]
+    fn single_node_round_publishes_min_of_lvt_and_red() {
+        let (core, bundle) = setup(1, 1);
+        let mut w = bundle.worker_gvt(NodeId(0), LaneId(0), 0);
+        let mut mpi = bundle.mpi_gvt(NodeId(0));
+
+        core.request_round();
+        // First step joins the round (red transition); send a red message
+        // with a timestamp below the LVT *before* the check-in, so min_red
+        // decides the GVT.
+        assert!(matches!(w.step(&ctx(1_000, 6.0)), WorkerGvtOutcome::Working(_)));
+        w.on_send(MsgClass::Regional, VirtualTime::new(4.5));
+
+        let mut now = 1_000u64;
+        let mut done = None;
+        for _ in 0..10_000 {
+            now += 1_000;
+            mpi.step(WallNs(now));
+            match w.step(&ctx(now, 6.0)) {
+                WorkerGvtOutcome::Completed { gvt, .. } => {
+                    done = Some(gvt);
+                    break;
+                }
+                WorkerGvtOutcome::Blocked(_) => panic!("pure Mattern never blocks"),
+                _ => {}
+            }
+        }
+        assert_eq!(done, Some(VirtualTime::new(4.5)), "GVT = min(LVT=6.0, min_red=4.5)");
+        assert_eq!(core.published_round(), 1);
+    }
+
+    /// An in-flight white message holds the round open until received.
+    #[test]
+    fn white_count_gates_the_drain() {
+        let (core, bundle) = setup(1, 2);
+        let mut w0 = bundle.worker_gvt(NodeId(0), LaneId(0), 0);
+        let mut w1 = bundle.worker_gvt(NodeId(0), LaneId(1), 1);
+        let mut mpi = bundle.mpi_gvt(NodeId(0));
+
+        let tag = w0.on_send(MsgClass::Regional, VirtualTime::new(3.0));
+        assert_eq!(tag, 1);
+        core.request_round();
+
+        let mut now = 0u64;
+        // Run a while without delivering: must not complete.
+        for _ in 0..200 {
+            now += 1_000;
+            let _ = w0.step(&ctx(now, 5.0));
+            let _ = w1.step(&ctx(now, 4.0));
+            mpi.step(WallNs(now));
+        }
+        assert_eq!(core.published_round(), 0, "in-flight white message must gate the round");
+
+        // Deliver, then the round completes.
+        w1.on_recv(tag, MsgClass::Regional);
+        let mut completions = 0;
+        for _ in 0..10_000 {
+            now += 1_000;
+            for w in [&mut w0, &mut w1] {
+                if let WorkerGvtOutcome::Completed { gvt, .. } = w.step(&ctx(now, 4.0)) {
+                    assert_eq!(gvt, VirtualTime::new(4.0));
+                    completions += 1;
+                }
+            }
+            mpi.step(WallNs(now));
+            if completions == 2 {
+                break;
+            }
+        }
+        assert_eq!(completions, 2);
+    }
+
+    /// Receiving a message tagged for a round this worker has already
+    /// flushed decrements the shared node counter directly.
+    #[test]
+    fn late_white_receive_hits_the_node_counter() {
+        let (core, bundle) = setup(1, 2);
+        let mut w0 = bundle.worker_gvt(NodeId(0), LaneId(0), 0);
+        let mut w1 = bundle.worker_gvt(NodeId(0), LaneId(1), 1);
+
+        // w0 sends white (tag 1) and both join round 1.
+        let tag = w0.on_send(MsgClass::Regional, VirtualTime::new(2.0));
+        core.request_round();
+        let _ = w0.step(&ctx(0, 5.0));
+        let _ = w1.step(&ctx(0, 5.0));
+        // Both are red now (flushed = 1); w1 receives the white message.
+        let shared = &bundle.shared;
+        let before = shared.per_node[0].white.load(Ordering::Relaxed);
+        w1.on_recv(tag, MsgClass::Regional);
+        let after = shared.per_node[0].white.load(Ordering::Relaxed);
+        assert_eq!(after, before - 1, "direct node-counter decrement");
+    }
+}

@@ -1,0 +1,265 @@
+//! CQN — closed queueing network, the classic PDES benchmark
+//! (Fujimoto's tandem-queue topology).
+//!
+//! LPs are FCFS service stations arranged in rows (tandem queues); a fixed
+//! population of jobs circulates. A job completing service at a station
+//! departs either to the next station in its row or, with the switch
+//! probability, through the row's *switch* to a uniformly random row —
+//! which in a block-partitioned placement produces regional and remote
+//! traffic. Closed population plus deterministic service/routing draws
+//! make the model a sharp correctness probe: any engine divergence shows
+//! up as a job count change.
+//!
+//! Event payloads are job ids; each station's state tracks its queue depth
+//! and statistics. A station with jobs in queue has exactly one `Depart`
+//! event circulating.
+
+use cagvt_base::ids::LpId;
+use cagvt_base::rng::Pcg32;
+use cagvt_core::model::{Emitter, EventCtx, Model};
+
+/// Events of the queueing network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CqnEvent {
+    /// A job arrives at this station.
+    Arrive { job: u32 },
+    /// The job at the head of this station's queue finishes service.
+    Depart,
+}
+
+/// Station state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Station {
+    /// Jobs currently queued or in service.
+    pub queue: u32,
+    /// Jobs served to completion here.
+    pub served: u64,
+    /// Jobs switched out to a random row.
+    pub switched: u64,
+    /// Order-sensitive checksum of job ids served.
+    pub checksum: u64,
+}
+
+/// The closed queueing network model.
+#[derive(Clone, Copy, Debug)]
+pub struct CqnModel {
+    /// Stations per row (tandem length). Rows are laid out consecutively
+    /// in LP-id space, so a row typically stays within a worker and
+    /// switches cross workers/nodes.
+    pub row_length: u32,
+    /// Initial jobs seeded at each row's first station.
+    pub jobs_per_row: u32,
+    /// Mean service time (exponential).
+    pub mean_service: f64,
+    /// Probability that a completing job switches to a random row instead
+    /// of continuing down its own.
+    pub switch_prob: f64,
+    /// EPG units per service completion.
+    pub epg: u64,
+}
+
+impl Default for CqnModel {
+    fn default() -> Self {
+        CqnModel {
+            row_length: 4,
+            jobs_per_row: 8,
+            mean_service: 1.0,
+            switch_prob: 0.25,
+            epg: 5_000,
+        }
+    }
+}
+
+impl CqnModel {
+    #[inline]
+    fn row_of(&self, lp: LpId) -> u32 {
+        lp.0 / self.row_length
+    }
+
+    #[inline]
+    fn row_start(&self, row: u32) -> u32 {
+        row * self.row_length
+    }
+
+    /// Destination station for a job completing at `me`.
+    fn next_station(&self, me: LpId, total_lps: u32, rng: &mut Pcg32) -> (LpId, bool) {
+        let rows = total_lps / self.row_length;
+        if rng.next_f64() < self.switch_prob && rows > 1 {
+            // Through the switch: first station of a random row.
+            let row = rng.next_bounded(rows);
+            (LpId(self.row_start(row)), true)
+        } else {
+            // Down the row (wrapping to its head).
+            let row = self.row_of(me);
+            let pos = me.0 - self.row_start(row);
+            let next = (pos + 1) % self.row_length;
+            (LpId(self.row_start(row) + next), false)
+        }
+    }
+
+    fn service_delay(&self, rng: &mut Pcg32) -> f64 {
+        0.05 + rng.next_exp(self.mean_service)
+    }
+}
+
+impl Model for CqnModel {
+    type State = Station;
+    type Payload = CqnEvent;
+
+    fn init_state(&self, _lp: LpId, _rng: &mut Pcg32) -> Station {
+        Station::default()
+    }
+
+    fn initial_events(
+        &self,
+        lp: LpId,
+        state: &mut Station,
+        rng: &mut Pcg32,
+        emit: &mut Emitter<CqnEvent>,
+    ) {
+        // The first station of each row is seeded with the row's job
+        // population and one departure in flight.
+        if lp.0.is_multiple_of(self.row_length) {
+            state.queue = self.jobs_per_row;
+            emit.emit(lp, self.service_delay(rng), CqnEvent::Depart);
+        }
+    }
+
+    fn handle(
+        &self,
+        ctx: &EventCtx,
+        state: &mut Station,
+        payload: &CqnEvent,
+        rng: &mut Pcg32,
+        emit: &mut Emitter<CqnEvent>,
+    ) -> u64 {
+        match payload {
+            CqnEvent::Arrive { job } => {
+                state.queue += 1;
+                state.checksum = state.checksum.wrapping_mul(31).wrapping_add(*job as u64);
+                if state.queue == 1 {
+                    // Idle server: begin service immediately.
+                    emit.emit(ctx.self_lp, self.service_delay(rng), CqnEvent::Depart);
+                }
+                self.epg / 8
+            }
+            CqnEvent::Depart => {
+                debug_assert!(state.queue > 0, "departure from an empty station");
+                state.queue -= 1;
+                state.served += 1;
+                let (dst, switched) = self.next_station(ctx.self_lp, ctx.total_lps, rng);
+                if switched {
+                    state.switched += 1;
+                }
+                let job = (state.served & 0xFFFF) as u32;
+                emit.emit(dst, 0.05 + 0.1 * rng.next_f64(), CqnEvent::Arrive { job });
+                if state.queue > 0 {
+                    emit.emit(ctx.self_lp, self.service_delay(rng), CqnEvent::Depart);
+                }
+                self.epg
+            }
+        }
+    }
+
+    fn state_fingerprint(&self, s: &Station) -> u64 {
+        (s.queue as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(s.served.rotate_left(17))
+            .wrapping_add(s.switched.rotate_left(34))
+            ^ s.checksum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagvt_base::time::VirtualTime;
+
+    fn ctx(me: u32, total: u32) -> EventCtx {
+        EventCtx {
+            now: VirtualTime::new(3.0),
+            self_lp: LpId(me),
+            end_time: VirtualTime::new(100.0),
+            total_lps: total,
+        }
+    }
+
+    #[test]
+    fn only_row_heads_are_seeded() {
+        let m = CqnModel::default();
+        let mut rng = Pcg32::new(1, 0);
+        let mut emit = Emitter::new();
+        let mut head = Station::default();
+        m.initial_events(LpId(0), &mut head, &mut rng, &mut emit);
+        assert_eq!(head.queue, m.jobs_per_row);
+        assert_eq!(emit.take().count(), 1);
+        let mut mid = Station::default();
+        m.initial_events(LpId(1), &mut mid, &mut rng, &mut emit);
+        assert_eq!(mid.queue, 0);
+        assert!(emit.is_empty());
+    }
+
+    #[test]
+    fn departure_moves_a_job_and_keeps_the_server_busy() {
+        let m = CqnModel::default();
+        let mut rng = Pcg32::new(2, 0);
+        let mut s = Station { queue: 3, ..Default::default() };
+        let mut emit = Emitter::new();
+        m.handle(&ctx(1, 16), &mut s, &CqnEvent::Depart, &mut rng, &mut emit);
+        assert_eq!(s.queue, 2);
+        assert_eq!(s.served, 1);
+        let out: Vec<_> = emit.take().collect();
+        assert_eq!(out.len(), 2, "one arrival elsewhere, one next departure here");
+        assert!(out.iter().any(|(dst, _, p)| *dst == LpId(1) && matches!(p, CqnEvent::Depart)));
+        assert!(out.iter().any(|(_, _, p)| matches!(p, CqnEvent::Arrive { .. })));
+    }
+
+    #[test]
+    fn arrival_at_idle_station_starts_service() {
+        let m = CqnModel::default();
+        let mut rng = Pcg32::new(3, 0);
+        let mut s = Station::default();
+        let mut emit = Emitter::new();
+        m.handle(&ctx(2, 16), &mut s, &CqnEvent::Arrive { job: 9 }, &mut rng, &mut emit);
+        assert_eq!(s.queue, 1);
+        let out: Vec<_> = emit.take().collect();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].2, CqnEvent::Depart));
+        // A second arrival queues without a new departure.
+        m.handle(&ctx(2, 16), &mut s, &CqnEvent::Arrive { job: 10 }, &mut rng, &mut emit);
+        assert_eq!(s.queue, 2);
+        assert!(emit.is_empty());
+    }
+
+    #[test]
+    fn routing_stays_in_range_and_switches_to_row_heads() {
+        let m = CqnModel { switch_prob: 0.5, ..Default::default() };
+        let mut rng = Pcg32::new(4, 0);
+        let total = 32; // 8 rows of 4
+        let mut switches = 0;
+        for _ in 0..2_000 {
+            let (dst, switched) = m.next_station(LpId(5), total, &mut rng);
+            assert!(dst.0 < total);
+            if switched {
+                assert_eq!(dst.0 % m.row_length, 0, "switches land on row heads");
+                switches += 1;
+            } else {
+                assert_eq!(m.row_of(dst), m.row_of(LpId(5)), "in-row hop");
+            }
+        }
+        let frac = switches as f64 / 2_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "switch fraction {frac}");
+    }
+
+    #[test]
+    fn closed_population_is_conserved_in_sequential_run() {
+        use cagvt_core::{SequentialSim, SimConfig};
+        use std::sync::Arc;
+        let m = CqnModel::default();
+        let mut cfg = SimConfig::small(2, 2);
+        cfg.lps_per_worker = 8; // 32 stations, 8 rows
+        cfg.end_time = 50.0;
+        let out = SequentialSim::new(Arc::new(m), cfg).run();
+        assert!(out.processed > 500, "network must stay live: {}", out.processed);
+    }
+}

@@ -1,0 +1,263 @@
+//! SIR epidemic over a ring of regions.
+//!
+//! Each LP is a geographic region holding susceptible / infected /
+//! recovered counts. A periodic `Step` event advances the local epidemic
+//! (binomial-ish infection and recovery draws) and, with probability
+//! proportional to local prevalence, exports a `Seed` to one of the two
+//! neighbouring regions. Compute per step scales with the region
+//! population, making this a computation-leaning workload with nearly all
+//! traffic between neighbours (regional when neighbours share a node).
+
+use cagvt_base::ids::LpId;
+use cagvt_base::rng::Pcg32;
+use cagvt_core::model::{Emitter, EventCtx, Model};
+
+/// Events exchanged between regions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpidemicEvent {
+    /// Advance the local epidemic one tick.
+    Step,
+    /// Imported infections from a neighbouring region.
+    Seed(u32),
+}
+
+/// Region state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    pub susceptible: u32,
+    pub infected: u32,
+    pub recovered: u32,
+    pub exported: u32,
+}
+
+impl Region {
+    pub fn population(&self) -> u32 {
+        self.susceptible + self.infected + self.recovered
+    }
+}
+
+/// The epidemic model.
+#[derive(Clone, Copy, Debug)]
+pub struct EpidemicModel {
+    /// Initial population per region.
+    pub population: u32,
+    /// Regions seeded with infection at start (every `k`-th LP).
+    pub seed_every: u32,
+    /// Per-tick infection pressure (β).
+    pub beta: f64,
+    /// Per-tick recovery probability (γ).
+    pub gamma: f64,
+    /// Probability an infectious region exports a seed each tick.
+    pub export_prob: f64,
+    /// Virtual time between ticks.
+    pub tick: f64,
+    /// EPG units per unit of population processed.
+    pub epg_per_capita: u64,
+}
+
+impl Default for EpidemicModel {
+    fn default() -> Self {
+        EpidemicModel {
+            population: 1_000,
+            seed_every: 16,
+            beta: 0.30,
+            gamma: 0.10,
+            export_prob: 0.20,
+            tick: 1.0,
+            epg_per_capita: 10,
+        }
+    }
+}
+
+impl EpidemicModel {
+    /// Approximate binomial draw: expectation plus a small random
+    /// perturbation (cheap, deterministic, adequate for workload purposes).
+    fn draw_count(&self, n: u32, p: f64, rng: &mut Pcg32) -> u32 {
+        if n == 0 || p <= 0.0 {
+            return 0;
+        }
+        let mean = n as f64 * p.min(1.0);
+        let jitter = (rng.next_f64() - 0.5) * mean.sqrt() * 2.0;
+        // Probabilistic rounding so sub-unity means still fire eventually
+        // (a lone infected individual must be able to recover).
+        let x = (mean + jitter).max(0.0);
+        let base = x.floor() as u32;
+        let extra = (rng.next_f64() < x.fract()) as u32;
+        (base + extra).min(n)
+    }
+}
+
+impl Model for EpidemicModel {
+    type State = Region;
+    type Payload = EpidemicEvent;
+
+    fn init_state(&self, lp: LpId, _rng: &mut Pcg32) -> Region {
+        let infected = if lp.0.is_multiple_of(self.seed_every) { self.population / 100 + 1 } else { 0 };
+        Region {
+            susceptible: self.population - infected,
+            infected,
+            recovered: 0,
+            exported: 0,
+        }
+    }
+
+    fn initial_events(
+        &self,
+        lp: LpId,
+        _state: &mut Region,
+        rng: &mut Pcg32,
+        emit: &mut Emitter<EpidemicEvent>,
+    ) {
+        emit.emit(lp, self.tick * (0.5 + rng.next_f64()), EpidemicEvent::Step);
+    }
+
+    fn handle(
+        &self,
+        ctx: &EventCtx,
+        state: &mut Region,
+        payload: &EpidemicEvent,
+        rng: &mut Pcg32,
+        emit: &mut Emitter<EpidemicEvent>,
+    ) -> u64 {
+        match payload {
+            EpidemicEvent::Seed(n) => {
+                let imported = (*n).min(state.susceptible);
+                state.susceptible -= imported;
+                state.infected += imported;
+                // Seeds cost little; the tick loop does the work.
+                self.epg_per_capita * 16
+            }
+            EpidemicEvent::Step => {
+                let pop = state.population().max(1);
+                let pressure = self.beta * state.infected as f64 / pop as f64;
+                let newly_infected = self.draw_count(state.susceptible, pressure, rng);
+                let newly_recovered = self.draw_count(state.infected, self.gamma, rng);
+                state.susceptible -= newly_infected;
+                state.infected = state.infected + newly_infected - newly_recovered;
+                state.recovered += newly_recovered;
+
+                if state.infected > 0 && rng.next_f64() < self.export_prob {
+                    let total = ctx.total_lps;
+                    let me = ctx.self_lp.0;
+                    let neighbour = if rng.next_f64() < 0.5 {
+                        (me + 1) % total
+                    } else {
+                        (me + total - 1) % total
+                    };
+                    let seeds = (state.infected / 50).clamp(1, 10);
+                    state.exported += seeds;
+                    emit.emit(
+                        LpId(neighbour),
+                        self.tick * (0.2 + 0.3 * rng.next_f64()),
+                        EpidemicEvent::Seed(seeds),
+                    );
+                }
+                // Keep the tick loop alive.
+                emit.emit(
+                    ctx.self_lp,
+                    self.tick * (0.8 + 0.4 * rng.next_f64()),
+                    EpidemicEvent::Step,
+                );
+                self.epg_per_capita * pop as u64 / 8
+            }
+        }
+    }
+
+    fn state_fingerprint(&self, state: &Region) -> u64 {
+        (state.susceptible as u64)
+            | ((state.infected as u64) << 20)
+            | ((state.recovered as u64) << 40)
+            ^ (state.exported as u64).rotate_left(52)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagvt_base::time::VirtualTime;
+
+    fn ctx(me: u32) -> EventCtx {
+        EventCtx {
+            now: VirtualTime::new(5.0),
+            self_lp: LpId(me),
+            end_time: VirtualTime::new(100.0),
+            total_lps: 8,
+        }
+    }
+
+    #[test]
+    fn population_is_conserved_by_steps() {
+        let m = EpidemicModel::default();
+        let mut rng = Pcg32::new(1, 0);
+        let mut region = m.init_state(LpId(0), &mut rng);
+        let pop0 = region.population();
+        let mut emit = Emitter::new();
+        for _ in 0..200 {
+            m.handle(&ctx(0), &mut region, &EpidemicEvent::Step, &mut rng, &mut emit);
+            emit.take().count();
+            assert_eq!(region.population(), pop0, "SIR must conserve population");
+        }
+    }
+
+    #[test]
+    fn seeded_regions_start_infected() {
+        let m = EpidemicModel::default();
+        let mut rng = Pcg32::new(1, 0);
+        assert!(m.init_state(LpId(0), &mut rng).infected > 0);
+        assert_eq!(m.init_state(LpId(1), &mut rng).infected, 0);
+    }
+
+    #[test]
+    fn seeds_move_susceptibles_to_infected() {
+        let m = EpidemicModel::default();
+        let mut rng = Pcg32::new(2, 0);
+        let mut region = m.init_state(LpId(1), &mut rng);
+        let mut emit = Emitter::new();
+        m.handle(&ctx(1), &mut region, &EpidemicEvent::Seed(5), &mut rng, &mut emit);
+        assert_eq!(region.infected, 5);
+        assert_eq!(region.population(), m.population);
+        assert!(emit.is_empty(), "seeds emit nothing");
+    }
+
+    #[test]
+    fn step_always_reschedules_itself() {
+        let m = EpidemicModel::default();
+        let mut rng = Pcg32::new(3, 0);
+        let mut region = m.init_state(LpId(0), &mut rng);
+        let mut emit = Emitter::new();
+        for _ in 0..50 {
+            m.handle(&ctx(0), &mut region, &EpidemicEvent::Step, &mut rng, &mut emit);
+            let out: Vec<_> = emit.take().collect();
+            assert!(
+                out.iter().any(|(dst, _, p)| *dst == LpId(0) && *p == EpidemicEvent::Step),
+                "tick loop must continue"
+            );
+        }
+    }
+
+    #[test]
+    fn epidemic_eventually_burns_out() {
+        let m = EpidemicModel { export_prob: 0.0, ..Default::default() };
+        let mut rng = Pcg32::new(4, 0);
+        let mut region = m.init_state(LpId(0), &mut rng);
+        let mut emit = Emitter::new();
+        for _ in 0..5_000 {
+            m.handle(&ctx(0), &mut region, &EpidemicEvent::Step, &mut rng, &mut emit);
+            emit.take().count();
+        }
+        assert_eq!(region.infected, 0, "no reintroduction, gamma > 0: must die out");
+        assert!(region.recovered > 0);
+    }
+
+    #[test]
+    fn draw_count_bounds() {
+        let m = EpidemicModel::default();
+        let mut rng = Pcg32::new(5, 0);
+        for _ in 0..1_000 {
+            let c = m.draw_count(100, 0.5, &mut rng);
+            assert!(c <= 100);
+        }
+        assert_eq!(m.draw_count(0, 0.5, &mut rng), 0);
+        assert_eq!(m.draw_count(10, 0.0, &mut rng), 0);
+    }
+}

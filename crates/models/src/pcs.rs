@@ -1,0 +1,242 @@
+//! PCS — personal communication services (cellular network) model.
+//!
+//! Each LP is a cell with a fixed number of radio channels. Calls arrive
+//! (Poisson), occupy a channel for an exponential duration, and may hand
+//! off mid-call to one of the four neighbouring cells in a ring-of-rings
+//! layout. Arrivals into a saturated cell are blocked and counted. Light
+//! per-event compute and heavy neighbour traffic make this a
+//! communication-leaning workload — the classic PDES benchmark for
+//! exactly that regime.
+
+use cagvt_base::ids::LpId;
+use cagvt_base::rng::Pcg32;
+use cagvt_core::model::{Emitter, EventCtx, Model};
+
+/// Events within the cellular network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PcsEvent {
+    /// Fresh call attempt in this cell (self-rescheduling arrival stream).
+    Arrival,
+    /// An ongoing call ends in this cell.
+    Complete,
+    /// A call hands off from a neighbouring cell into this one.
+    Handoff,
+}
+
+/// Cell state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cell {
+    pub busy: u32,
+    pub completed: u64,
+    pub blocked: u64,
+    pub handoffs_in: u64,
+    pub handoffs_out: u64,
+}
+
+/// The PCS model.
+#[derive(Clone, Copy, Debug)]
+pub struct PcsModel {
+    /// Channels per cell.
+    pub channels: u32,
+    /// Mean inter-arrival time of fresh calls.
+    pub mean_interarrival: f64,
+    /// Mean call holding time.
+    pub mean_hold: f64,
+    /// Probability that a call segment ends in a handoff rather than a
+    /// completion.
+    pub handoff_prob: f64,
+    /// EPG units per event.
+    pub epg: u64,
+}
+
+impl Default for PcsModel {
+    fn default() -> Self {
+        PcsModel {
+            channels: 10,
+            mean_interarrival: 2.0,
+            mean_hold: 3.0,
+            handoff_prob: 0.3,
+            epg: 4_000,
+        }
+    }
+}
+
+impl PcsModel {
+    /// Admit a call segment into the cell: seize a channel and schedule
+    /// its end (completion here, or handoff into a neighbour).
+    fn admit(
+        &self,
+        ctx: &EventCtx,
+        cell: &mut Cell,
+        rng: &mut Pcg32,
+        emit: &mut Emitter<PcsEvent>,
+    ) {
+        if cell.busy >= self.channels {
+            cell.blocked += 1;
+            return;
+        }
+        cell.busy += 1;
+        let segment = 0.05 + rng.next_exp(self.mean_hold);
+        if rng.next_f64() < self.handoff_prob {
+            // Leaves for a neighbour at the end of the segment: free our
+            // channel then, and the neighbour admits at the same instant.
+            cell.handoffs_out += 1;
+            let total = ctx.total_lps;
+            let me = ctx.self_lp.0;
+            let neighbour = match rng.next_bounded(4) {
+                0 => (me + 1) % total,
+                1 => (me + total - 1) % total,
+                2 => (me + 8) % total,
+                _ => (me + total - 8 % total) % total,
+            };
+            emit.emit(ctx.self_lp, segment, PcsEvent::Complete);
+            emit.emit(LpId(neighbour % total), segment + 0.01, PcsEvent::Handoff);
+        } else {
+            emit.emit(ctx.self_lp, segment, PcsEvent::Complete);
+        }
+    }
+}
+
+impl Model for PcsModel {
+    type State = Cell;
+    type Payload = PcsEvent;
+
+    fn init_state(&self, _lp: LpId, _rng: &mut Pcg32) -> Cell {
+        Cell::default()
+    }
+
+    fn initial_events(
+        &self,
+        lp: LpId,
+        _state: &mut Cell,
+        rng: &mut Pcg32,
+        emit: &mut Emitter<PcsEvent>,
+    ) {
+        emit.emit(lp, 0.01 + rng.next_exp(self.mean_interarrival), PcsEvent::Arrival);
+    }
+
+    fn handle(
+        &self,
+        ctx: &EventCtx,
+        cell: &mut Cell,
+        payload: &PcsEvent,
+        rng: &mut Pcg32,
+        emit: &mut Emitter<PcsEvent>,
+    ) -> u64 {
+        match payload {
+            PcsEvent::Arrival => {
+                self.admit(ctx, cell, rng, emit);
+                // Keep the arrival stream alive.
+                emit.emit(
+                    ctx.self_lp,
+                    0.01 + rng.next_exp(self.mean_interarrival),
+                    PcsEvent::Arrival,
+                );
+            }
+            PcsEvent::Complete => {
+                debug_assert!(cell.busy > 0, "completion without a busy channel");
+                cell.busy = cell.busy.saturating_sub(1);
+                cell.completed += 1;
+            }
+            PcsEvent::Handoff => {
+                cell.handoffs_in += 1;
+                self.admit(ctx, cell, rng, emit);
+            }
+        }
+        self.epg
+    }
+
+    fn state_fingerprint(&self, cell: &Cell) -> u64 {
+        cell.completed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(cell.blocked.rotate_left(8))
+            .wrapping_add(cell.handoffs_in.rotate_left(24))
+            .wrapping_add(cell.handoffs_out.rotate_left(40))
+            .wrapping_add(cell.busy as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagvt_base::time::VirtualTime;
+
+    fn ctx(me: u32) -> EventCtx {
+        EventCtx {
+            now: VirtualTime::new(1.0),
+            self_lp: LpId(me),
+            end_time: VirtualTime::new(100.0),
+            total_lps: 32,
+        }
+    }
+
+    #[test]
+    fn arrivals_reschedule_themselves() {
+        let m = PcsModel::default();
+        let mut rng = Pcg32::new(1, 0);
+        let mut cell = Cell::default();
+        let mut emit = Emitter::new();
+        m.handle(&ctx(0), &mut cell, &PcsEvent::Arrival, &mut rng, &mut emit);
+        let out: Vec<_> = emit.take().collect();
+        assert!(out.iter().any(|(dst, _, p)| *dst == LpId(0) && *p == PcsEvent::Arrival));
+        assert_eq!(cell.busy, 1);
+    }
+
+    #[test]
+    fn saturated_cell_blocks_calls() {
+        let m = PcsModel { channels: 1, handoff_prob: 0.0, ..Default::default() };
+        let mut rng = Pcg32::new(2, 0);
+        let mut cell = Cell::default();
+        let mut emit = Emitter::new();
+        m.handle(&ctx(0), &mut cell, &PcsEvent::Arrival, &mut rng, &mut emit);
+        emit.take().count();
+        assert_eq!(cell.busy, 1);
+        m.handle(&ctx(0), &mut cell, &PcsEvent::Arrival, &mut rng, &mut emit);
+        emit.take().count();
+        assert_eq!(cell.busy, 1, "no free channel");
+        assert_eq!(cell.blocked, 1);
+    }
+
+    #[test]
+    fn completions_free_channels() {
+        let m = PcsModel { handoff_prob: 0.0, ..Default::default() };
+        let mut rng = Pcg32::new(3, 0);
+        let mut cell = Cell::default();
+        let mut emit = Emitter::new();
+        m.handle(&ctx(0), &mut cell, &PcsEvent::Arrival, &mut rng, &mut emit);
+        emit.take().count();
+        m.handle(&ctx(0), &mut cell, &PcsEvent::Complete, &mut rng, &mut emit);
+        emit.take().count();
+        assert_eq!(cell.busy, 0);
+        assert_eq!(cell.completed, 1);
+    }
+
+    #[test]
+    fn handoffs_admit_into_the_target_cell() {
+        let m = PcsModel::default();
+        let mut rng = Pcg32::new(4, 0);
+        let mut cell = Cell::default();
+        let mut emit = Emitter::new();
+        m.handle(&ctx(5), &mut cell, &PcsEvent::Handoff, &mut rng, &mut emit);
+        emit.take().count();
+        assert_eq!(cell.handoffs_in, 1);
+        assert_eq!(cell.busy, 1);
+    }
+
+    #[test]
+    fn handoff_targets_stay_in_range() {
+        let m = PcsModel { handoff_prob: 1.0, ..Default::default() };
+        let mut rng = Pcg32::new(5, 0);
+        let mut cell = Cell::default();
+        let mut emit = Emitter::new();
+        for _ in 0..500 {
+            cell.busy = 0; // keep admitting
+            m.handle(&ctx(3), &mut cell, &PcsEvent::Arrival, &mut rng, &mut emit);
+            for (dst, delay, _) in emit.take() {
+                assert!(dst.0 < 32);
+                assert!(delay > 0.0);
+            }
+        }
+        assert!(cell.handoffs_out > 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Traffic — a grid of signalized intersections (the classic ROSS demo
+//! model family).
+//!
+//! Each LP is an intersection on a `width × height` torus holding a small
+//! queue of cars per approach. A periodic `GreenPhase` event serves the
+//! currently green axis, forwarding up to `saturation_flow` cars to the
+//! downstream neighbour and toggling the signal. Cars entering the grid
+//! arrive via a self-rescheduling `Arrival` stream; each forwarded car
+//! picks straight/left/right by a turn probability. Neighbour-only traffic
+//! on a 2-D torus gives a locality pattern distinct from PHOLD's uniform
+//! draws: mostly regional with a remote fringe along the node boundary.
+
+use cagvt_base::ids::LpId;
+use cagvt_base::rng::Pcg32;
+use cagvt_core::model::{Emitter, EventCtx, Model};
+
+/// Compass direction a car travels (the approach it arrives on is the
+/// opposite one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Heading {
+    North,
+    East,
+    South,
+    West,
+}
+
+impl Heading {
+    fn index(self) -> usize {
+        match self {
+            Heading::North => 0,
+            Heading::East => 1,
+            Heading::South => 2,
+            Heading::West => 3,
+        }
+    }
+
+    fn from_index(i: u32) -> Heading {
+        match i % 4 {
+            0 => Heading::North,
+            1 => Heading::East,
+            2 => Heading::South,
+            _ => Heading::West,
+        }
+    }
+
+    /// Heading after a turn decision: 0 = straight, 1 = right, 2 = left.
+    fn turned(self, turn: u32) -> Heading {
+        let base = self.index() as u32;
+        match turn {
+            0 => self,
+            1 => Heading::from_index(base + 1),
+            _ => Heading::from_index(base + 3),
+        }
+    }
+
+    fn is_north_south(self) -> bool {
+        matches!(self, Heading::North | Heading::South)
+    }
+}
+
+/// Events at an intersection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficEvent {
+    /// A car arrives, travelling `heading`.
+    CarArrives { heading: Heading },
+    /// Fresh demand enters the grid here (self-rescheduling).
+    Arrival,
+    /// The signal serves the green axis, then toggles.
+    GreenPhase,
+}
+
+/// Intersection state: queued cars per heading plus counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Intersection {
+    pub queues: [u16; 4],
+    /// True: north-south axis is green.
+    pub ns_green: bool,
+    pub cars_through: u64,
+    pub dropped: u64,
+}
+
+impl Intersection {
+    pub fn total_queued(&self) -> u32 {
+        self.queues.iter().map(|&q| q as u32).sum()
+    }
+}
+
+/// The traffic-grid model. `width * height` must equal the run's total LP
+/// count.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficModel {
+    pub width: u32,
+    pub height: u32,
+    /// Mean time between fresh arrivals per intersection.
+    pub mean_arrival: f64,
+    /// Signal phase length.
+    pub phase: f64,
+    /// Cars served per approach per green phase.
+    pub saturation_flow: u16,
+    /// Queue capacity per approach; overflow cars are dropped (counted).
+    pub capacity: u16,
+    /// Probability of turning (split evenly left/right).
+    pub turn_prob: f64,
+    /// EPG units per green phase.
+    pub epg: u64,
+}
+
+impl Default for TrafficModel {
+    fn default() -> Self {
+        TrafficModel {
+            width: 8,
+            height: 8,
+            mean_arrival: 2.0,
+            phase: 1.0,
+            saturation_flow: 3,
+            capacity: 12,
+            turn_prob: 0.3,
+            epg: 4_000,
+        }
+    }
+}
+
+impl TrafficModel {
+    /// Grid coordinates of an LP.
+    fn xy(&self, lp: LpId) -> (u32, u32) {
+        (lp.0 % self.width, lp.0 / self.width)
+    }
+
+    /// Downstream neighbour when leaving `lp` with `heading` (torus wrap).
+    pub fn neighbour(&self, lp: LpId, heading: Heading) -> LpId {
+        let (x, y) = self.xy(lp);
+        let (nx, ny) = match heading {
+            Heading::North => (x, (y + self.height - 1) % self.height),
+            Heading::South => (x, (y + 1) % self.height),
+            Heading::East => ((x + 1) % self.width, y),
+            Heading::West => ((x + self.width - 1) % self.width, y),
+        };
+        LpId(ny * self.width + nx)
+    }
+
+    fn enqueue(&self, state: &mut Intersection, heading: Heading) {
+        let q = &mut state.queues[heading.index()];
+        if *q >= self.capacity {
+            state.dropped += 1;
+        } else {
+            *q += 1;
+        }
+    }
+}
+
+impl Model for TrafficModel {
+    type State = Intersection;
+    type Payload = TrafficEvent;
+
+    fn init_state(&self, lp: LpId, _rng: &mut Pcg32) -> Intersection {
+        let (x, y) = self.xy(lp);
+        // Stagger initial signals like a checkerboard.
+        Intersection { ns_green: (x + y) % 2 == 0, ..Default::default() }
+    }
+
+    fn initial_events(
+        &self,
+        lp: LpId,
+        _state: &mut Intersection,
+        rng: &mut Pcg32,
+        emit: &mut Emitter<TrafficEvent>,
+    ) {
+        emit.emit(lp, 0.01 + rng.next_exp(self.mean_arrival), TrafficEvent::Arrival);
+        emit.emit(lp, self.phase * (0.5 + 0.5 * rng.next_f64()), TrafficEvent::GreenPhase);
+    }
+
+    fn handle(
+        &self,
+        ctx: &EventCtx,
+        state: &mut Intersection,
+        payload: &TrafficEvent,
+        rng: &mut Pcg32,
+        emit: &mut Emitter<TrafficEvent>,
+    ) -> u64 {
+        match payload {
+            TrafficEvent::CarArrives { heading } => {
+                self.enqueue(state, *heading);
+                self.epg / 8
+            }
+            TrafficEvent::Arrival => {
+                let heading = Heading::from_index(rng.next_bounded(4));
+                self.enqueue(state, heading);
+                emit.emit(
+                    ctx.self_lp,
+                    0.01 + rng.next_exp(self.mean_arrival),
+                    TrafficEvent::Arrival,
+                );
+                self.epg / 8
+            }
+            TrafficEvent::GreenPhase => {
+                // Serve both approaches of the green axis.
+                for heading in [Heading::North, Heading::East, Heading::South, Heading::West] {
+                    if heading.is_north_south() != state.ns_green {
+                        continue;
+                    }
+                    let served = state.queues[heading.index()].min(self.saturation_flow);
+                    state.queues[heading.index()] -= served;
+                    for k in 0..served {
+                        state.cars_through += 1;
+                        let turn = if rng.next_f64() < self.turn_prob {
+                            1 + rng.next_bounded(2)
+                        } else {
+                            0
+                        };
+                        let out = heading.turned(turn);
+                        let dst = self.neighbour(ctx.self_lp, out);
+                        // Travel time to the next intersection, spaced by
+                        // departure order.
+                        let travel = 0.2 + 0.1 * k as f64 + 0.2 * rng.next_f64();
+                        emit.emit(dst, travel, TrafficEvent::CarArrives { heading: out });
+                    }
+                }
+                state.ns_green = !state.ns_green;
+                emit.emit(ctx.self_lp, self.phase, TrafficEvent::GreenPhase);
+                self.epg
+            }
+        }
+    }
+
+    fn state_fingerprint(&self, s: &Intersection) -> u64 {
+        let q = (s.queues[0] as u64)
+            | ((s.queues[1] as u64) << 16)
+            | ((s.queues[2] as u64) << 32)
+            | ((s.queues[3] as u64) << 48);
+        q.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ s.cars_through.rotate_left(13)
+            ^ s.dropped.rotate_left(47)
+            ^ (s.ns_green as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagvt_base::time::VirtualTime;
+
+    fn model() -> TrafficModel {
+        TrafficModel { width: 4, height: 4, ..Default::default() }
+    }
+
+    fn ctx(me: u32) -> EventCtx {
+        EventCtx {
+            now: VirtualTime::new(2.0),
+            self_lp: LpId(me),
+            end_time: VirtualTime::new(100.0),
+            total_lps: 16,
+        }
+    }
+
+    #[test]
+    fn torus_neighbours_wrap() {
+        let m = model();
+        assert_eq!(m.neighbour(LpId(0), Heading::East), LpId(1));
+        assert_eq!(m.neighbour(LpId(3), Heading::East), LpId(0), "x wraps");
+        assert_eq!(m.neighbour(LpId(0), Heading::North), LpId(12), "y wraps");
+        assert_eq!(m.neighbour(LpId(12), Heading::South), LpId(0));
+        // Round trips invert.
+        for lp in 0..16 {
+            for h in [Heading::North, Heading::East, Heading::South, Heading::West] {
+                let back = match h {
+                    Heading::North => Heading::South,
+                    Heading::South => Heading::North,
+                    Heading::East => Heading::West,
+                    Heading::West => Heading::East,
+                };
+                assert_eq!(m.neighbour(m.neighbour(LpId(lp), h), back), LpId(lp));
+            }
+        }
+    }
+
+    #[test]
+    fn headings_turn_consistently() {
+        assert_eq!(Heading::North.turned(0), Heading::North);
+        assert_eq!(Heading::North.turned(1), Heading::East);
+        assert_eq!(Heading::North.turned(2), Heading::West);
+        assert_eq!(Heading::West.turned(1), Heading::North);
+    }
+
+    #[test]
+    fn green_phase_serves_only_the_green_axis_and_toggles() {
+        let m = model();
+        let mut rng = Pcg32::new(1, 0);
+        let mut s = Intersection {
+            ns_green: true,
+            queues: [5, 7, 4, 6], // N E S W
+            ..Default::default()
+        };
+        let mut emit = Emitter::new();
+        m.handle(&ctx(5), &mut s, &TrafficEvent::GreenPhase, &mut rng, &mut emit);
+        // North/South served by up to saturation_flow each; East/West untouched.
+        assert_eq!(s.queues[Heading::North.index()], 5 - 3);
+        assert_eq!(s.queues[Heading::South.index()], 4 - 3);
+        assert_eq!(s.queues[Heading::East.index()], 7);
+        assert_eq!(s.queues[Heading::West.index()], 6);
+        assert!(!s.ns_green, "signal toggles");
+        assert_eq!(s.cars_through, 6);
+        let out: Vec<_> = emit.take().collect();
+        // 6 forwarded cars + the next green phase.
+        assert_eq!(out.len(), 7);
+        assert!(out
+            .iter()
+            .any(|(dst, _, p)| *dst == LpId(5) && matches!(p, TrafficEvent::GreenPhase)));
+    }
+
+    #[test]
+    fn queues_saturate_and_drop() {
+        let m = model();
+        let mut s = Intersection::default();
+        for _ in 0..m.capacity + 4 {
+            m.enqueue(&mut s, Heading::East);
+        }
+        assert_eq!(s.queues[Heading::East.index()], m.capacity);
+        assert_eq!(s.dropped, 4);
+    }
+
+    #[test]
+    fn arrivals_reschedule() {
+        let m = model();
+        let mut rng = Pcg32::new(2, 0);
+        let mut s = Intersection::default();
+        let mut emit = Emitter::new();
+        m.handle(&ctx(0), &mut s, &TrafficEvent::Arrival, &mut rng, &mut emit);
+        assert_eq!(s.total_queued(), 1);
+        let out: Vec<_> = emit.take().collect();
+        assert!(out.iter().any(|(dst, _, p)| *dst == LpId(0) && matches!(p, TrafficEvent::Arrival)));
+    }
+
+    #[test]
+    fn grid_runs_sequentially() {
+        use cagvt_core::{SequentialSim, SimConfig};
+        use std::sync::Arc;
+        let mut cfg = SimConfig::small(2, 2);
+        cfg.lps_per_worker = 4; // 16 intersections = 4x4
+        cfg.end_time = 40.0;
+        let out = SequentialSim::new(Arc::new(model()), cfg).run();
+        assert!(out.processed > 400, "grid must stay live: {}", out.processed);
+    }
+}

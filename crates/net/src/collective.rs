@@ -1,0 +1,316 @@
+//! Polled barriers and reductions.
+//!
+//! The paper's Barrier GVT uses two levels of synchronization: a pthread
+//! barrier + reduction among the threads of one node, and an MPI barrier +
+//! reduction among nodes. Both are provided here in *polled* form: a
+//! participant `arrive`s once, then repeatedly asks whether its generation
+//! has been released. That keeps engine actors non-blocking under both
+//! execution substrates.
+//!
+//! Usage contract for the reducing variants: a participant must observe the
+//! result of generation `g` (via `try_result`) before arriving for `g + 1`.
+//! Results are double-buffered, so the value for `g` stays readable while
+//! `g + 1` accumulates.
+
+use cagvt_base::time::WallNs;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Combined sum/min reduction value.
+///
+/// `sum` carries message-count differences (Algorithm 1's `msgCount`);
+/// `min` carries virtual times encoded with
+/// [`VirtualTime::to_ordered_bits`](cagvt_base::VirtualTime::to_ordered_bits),
+/// whose unsigned order matches the time order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReduceValue {
+    pub sum: i64,
+    pub min: u64,
+}
+
+impl ReduceValue {
+    pub const IDENTITY: ReduceValue = ReduceValue { sum: 0, min: u64::MAX };
+}
+
+/// Sense-free polled barrier for the threads of one node.
+#[derive(Debug)]
+pub struct NodeBarrier {
+    parties: u32,
+    count: AtomicU32,
+    generation: AtomicU64,
+}
+
+impl NodeBarrier {
+    pub fn new(parties: u32) -> Self {
+        assert!(parties >= 1);
+        NodeBarrier { parties, count: AtomicU32::new(0), generation: AtomicU64::new(0) }
+    }
+
+    /// Register arrival; returns the generation token to poll with. The
+    /// last arriver releases the generation.
+    pub fn arrive(&self) -> u64 {
+        let gen = self.generation.load(Ordering::Acquire);
+        let prev = self.count.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(prev < self.parties, "barrier over-subscribed");
+        if prev + 1 == self.parties {
+            self.count.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::AcqRel);
+        }
+        gen
+    }
+
+    /// Has the generation obtained from [`Self::arrive`] been released?
+    #[inline]
+    pub fn is_released(&self, gen: u64) -> bool {
+        self.generation.load(Ordering::Acquire) > gen
+    }
+
+    pub fn parties(&self) -> u32 {
+        self.parties
+    }
+}
+
+#[derive(Debug)]
+struct ReduceInner {
+    arrived: u32,
+    acc: ReduceValue,
+    results: [ReduceValue; 2],
+}
+
+/// Polled barrier-with-reduction among the threads of one node (the paper's
+/// `PthreadBarrierSum` / `PthreadBarrierMin`).
+#[derive(Debug)]
+pub struct NodeReduce {
+    parties: u32,
+    inner: Mutex<ReduceInner>,
+    generation: AtomicU64,
+}
+
+impl NodeReduce {
+    pub fn new(parties: u32) -> Self {
+        assert!(parties >= 1);
+        NodeReduce {
+            parties,
+            inner: Mutex::new(ReduceInner {
+                arrived: 0,
+                acc: ReduceValue::IDENTITY,
+                results: [ReduceValue::IDENTITY; 2],
+            }),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Contribute `(sum, min)` and return the generation token.
+    pub fn arrive(&self, sum: i64, min: u64) -> u64 {
+        let mut inner = self.inner.lock();
+        let gen = self.generation.load(Ordering::Acquire);
+        inner.acc.sum += sum;
+        inner.acc.min = inner.acc.min.min(min);
+        inner.arrived += 1;
+        debug_assert!(inner.arrived <= self.parties, "reduce over-subscribed");
+        if inner.arrived == self.parties {
+            let slot = (gen % 2) as usize;
+            inner.results[slot] = inner.acc;
+            inner.acc = ReduceValue::IDENTITY;
+            inner.arrived = 0;
+            self.generation.fetch_add(1, Ordering::AcqRel);
+        }
+        gen
+    }
+
+    /// The reduced value for `gen`, once every participant has arrived.
+    pub fn try_result(&self, gen: u64) -> Option<ReduceValue> {
+        if self.generation.load(Ordering::Acquire) > gen {
+            let slot = (gen % 2) as usize;
+            Some(self.inner.lock().results[slot])
+        } else {
+            None
+        }
+    }
+
+    pub fn parties(&self) -> u32 {
+        self.parties
+    }
+}
+
+#[derive(Debug)]
+struct ClusterInner {
+    arrived: u32,
+    acc: ReduceValue,
+    last_arrival: WallNs,
+    results: [(ReduceValue, WallNs); 2],
+}
+
+/// Cluster-wide barrier-with-reduction (the paper's `MpiBarrierSum` /
+/// `MpiBarrierMin`), one participant per node.
+///
+/// Unlike [`NodeReduce`], completion is not instantaneous: the result
+/// becomes *visible* only `latency` after the last arrival, modeling the
+/// stages of an MPI collective over the wire. State is shared in-process
+/// (the fabric is simulated) but observability is gated on the modeled
+/// time, which is what the algorithms are sensitive to.
+#[derive(Debug)]
+pub struct ClusterCollective {
+    parties: u32,
+    inner: Mutex<ClusterInner>,
+    generation: AtomicU64,
+}
+
+impl ClusterCollective {
+    pub fn new(parties: u32) -> Self {
+        assert!(parties >= 1);
+        ClusterCollective {
+            parties,
+            inner: Mutex::new(ClusterInner {
+                arrived: 0,
+                acc: ReduceValue::IDENTITY,
+                last_arrival: WallNs::ZERO,
+                results: [(ReduceValue::IDENTITY, WallNs::ZERO); 2],
+            }),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Contribute `(sum, min)` at wall time `now`; the collective completes
+    /// `latency` after the last arrival.
+    pub fn arrive(&self, now: WallNs, sum: i64, min: u64, latency: WallNs) -> u64 {
+        let mut inner = self.inner.lock();
+        let gen = self.generation.load(Ordering::Acquire);
+        inner.acc.sum += sum;
+        inner.acc.min = inner.acc.min.min(min);
+        inner.last_arrival = inner.last_arrival.max(now);
+        inner.arrived += 1;
+        debug_assert!(inner.arrived <= self.parties, "collective over-subscribed");
+        if inner.arrived == self.parties {
+            let slot = (gen % 2) as usize;
+            let visible_at = inner.last_arrival + latency;
+            inner.results[slot] = (inner.acc, visible_at);
+            inner.acc = ReduceValue::IDENTITY;
+            inner.arrived = 0;
+            inner.last_arrival = WallNs::ZERO;
+            self.generation.fetch_add(1, Ordering::AcqRel);
+        }
+        gen
+    }
+
+    /// The result for `gen`, once complete *and* past its visibility time.
+    pub fn try_result(&self, now: WallNs, gen: u64) -> Option<ReduceValue> {
+        if self.generation.load(Ordering::Acquire) > gen {
+            let slot = (gen % 2) as usize;
+            let (value, visible_at) = self.inner.lock().results[slot];
+            if now >= visible_at {
+                return Some(value);
+            }
+        }
+        None
+    }
+
+    pub fn parties(&self) -> u32 {
+        self.parties
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_barrier_releases_when_all_arrive() {
+        let b = NodeBarrier::new(3);
+        let g0 = b.arrive();
+        assert!(!b.is_released(g0));
+        let g1 = b.arrive();
+        assert_eq!(g0, g1);
+        assert!(!b.is_released(g0));
+        b.arrive();
+        assert!(b.is_released(g0));
+    }
+
+    #[test]
+    fn node_barrier_generations_advance() {
+        let b = NodeBarrier::new(2);
+        let g = b.arrive();
+        b.arrive();
+        assert!(b.is_released(g));
+        let g2 = b.arrive();
+        assert_eq!(g2, g + 1);
+        assert!(!b.is_released(g2));
+        b.arrive();
+        assert!(b.is_released(g2));
+    }
+
+    #[test]
+    fn single_party_barrier_self_releases() {
+        let b = NodeBarrier::new(1);
+        let g = b.arrive();
+        assert!(b.is_released(g));
+    }
+
+    #[test]
+    fn node_reduce_sums_and_mins() {
+        let r = NodeReduce::new(3);
+        let g = r.arrive(5, 100);
+        assert_eq!(r.try_result(g), None);
+        r.arrive(-2, 50);
+        r.arrive(1, 75);
+        let v = r.try_result(g).unwrap();
+        assert_eq!(v.sum, 4);
+        assert_eq!(v.min, 50);
+    }
+
+    #[test]
+    fn node_reduce_double_buffers_consecutive_rounds() {
+        let r = NodeReduce::new(1);
+        let g0 = r.arrive(1, 10);
+        let g1 = r.arrive(2, 20);
+        // Round 0's result is still readable after round 1 completed.
+        assert_eq!(r.try_result(g0).unwrap(), ReduceValue { sum: 1, min: 10 });
+        assert_eq!(r.try_result(g1).unwrap(), ReduceValue { sum: 2, min: 20 });
+    }
+
+    #[test]
+    fn cluster_collective_gates_on_latency() {
+        let c = ClusterCollective::new(2);
+        let g = c.arrive(WallNs(100), 3, 10, WallNs(1_000));
+        assert_eq!(c.try_result(WallNs(10_000), g), None, "not complete yet");
+        c.arrive(WallNs(500), -1, 5, WallNs(1_000));
+        // Complete, but only visible at last_arrival (500) + 1000.
+        assert_eq!(c.try_result(WallNs(1_400), g), None);
+        let v = c.try_result(WallNs(1_500), g).unwrap();
+        assert_eq!(v.sum, 2);
+        assert_eq!(v.min, 5);
+    }
+
+    #[test]
+    fn cluster_collective_consecutive_generations() {
+        let c = ClusterCollective::new(1);
+        let g0 = c.arrive(WallNs(0), 7, 1, WallNs(10));
+        let g1 = c.arrive(WallNs(100), 8, 2, WallNs(10));
+        assert_eq!(c.try_result(WallNs(1_000), g0).unwrap().sum, 7);
+        assert_eq!(c.try_result(WallNs(1_000), g1).unwrap().sum, 8);
+        assert_eq!(c.try_result(WallNs(105), g1), None, "latency gate");
+    }
+
+    #[test]
+    fn barrier_under_real_threads() {
+        use std::sync::Arc;
+        let b = Arc::new(NodeBarrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let g = b.arrive();
+                        while !b.is_released(g) {
+                            std::hint::spin_loop();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.generation.load(Ordering::Relaxed), 100);
+    }
+}

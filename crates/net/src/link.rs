@@ -1,0 +1,90 @@
+//! NIC transmit-side serialization and wire latency.
+//!
+//! Each node has one [`Nic`]. Outgoing messages serialize on the transmit
+//! path (bandwidth term `wire_per_msg`) and then spend `wire_latency` in
+//! flight. The serialization uses the same time-queueing trick as
+//! [`crate::VirtualMutex`]: a message handed to the NIC at `now` starts
+//! transmitting at `max(now, tx_free_at)`.
+
+use cagvt_base::time::WallNs;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Transmit side of a node's network interface.
+#[derive(Debug, Default)]
+pub struct Nic {
+    tx_free_at: AtomicU64,
+    sent: AtomicU64,
+}
+
+impl Nic {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hand one message to the NIC at `now`. Returns the instant it is
+    /// delivered at the far end: serialization queueing + transmit time +
+    /// one-way wire latency.
+    pub fn send(&self, now: WallNs, per_msg: WallNs, wire_latency: WallNs) -> WallNs {
+        loop {
+            let free = self.tx_free_at.load(Ordering::Acquire);
+            let start = now.0.max(free);
+            let done_tx = start + per_msg.0;
+            if self
+                .tx_free_at
+                .compare_exchange(free, done_tx, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.sent.fetch_add(1, Ordering::Relaxed);
+                return WallNs(done_tx + wire_latency.0);
+            }
+        }
+    }
+
+    /// Messages transmitted so far.
+    pub fn sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Current transmit backlog relative to `now` (how far ahead of the
+    /// caller's clock the NIC is booked). A growing value means the node is
+    /// offering more traffic than 10 GbE drains — the saturation signal in
+    /// communication-dominated runs.
+    pub fn backlog(&self, now: WallNs) -> WallNs {
+        WallNs(self.tx_free_at.load(Ordering::Relaxed).saturating_sub(now.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_message_pays_tx_plus_latency() {
+        let nic = Nic::new();
+        let at = nic.send(WallNs(1_000), WallNs(500), WallNs(20_000));
+        assert_eq!(at, WallNs(21_500));
+        assert_eq!(nic.sent(), 1);
+    }
+
+    #[test]
+    fn burst_serializes_on_tx() {
+        let nic = Nic::new();
+        let a = nic.send(WallNs(0), WallNs(500), WallNs(20_000));
+        let b = nic.send(WallNs(0), WallNs(500), WallNs(20_000));
+        let c = nic.send(WallNs(0), WallNs(500), WallNs(20_000));
+        assert_eq!(a, WallNs(20_500));
+        assert_eq!(b, WallNs(21_000));
+        assert_eq!(c, WallNs(21_500));
+        assert_eq!(nic.backlog(WallNs(0)), WallNs(1_500));
+        assert_eq!(nic.backlog(WallNs(10_000)), WallNs::ZERO);
+    }
+
+    #[test]
+    fn idle_nic_has_no_backlog_effect() {
+        let nic = Nic::new();
+        nic.send(WallNs(0), WallNs(100), WallNs(1_000));
+        // Next message arrives long after the NIC went idle.
+        let at = nic.send(WallNs(50_000), WallNs(100), WallNs(1_000));
+        assert_eq!(at, WallNs(51_100));
+    }
+}

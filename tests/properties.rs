@@ -1,0 +1,121 @@
+//! Property-based tests: random workload parameterizations, topologies
+//! and algorithm settings must always preserve the engine's core
+//! invariants — sequential equivalence, event conservation, GVT
+//! monotonicity (asserted inside the engine), and determinism.
+
+use cagvt::prelude::*;
+use cagvt_models::phold::{PhaseSchedule, PholdModel, PholdParams, Topology};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_kind() -> impl Strategy<Value = GvtKind> {
+    prop_oneof![
+        Just(GvtKind::Barrier),
+        Just(GvtKind::Mattern),
+        (0.3f64..0.95).prop_map(|threshold| GvtKind::CaGvt { threshold }),
+    ]
+}
+
+fn arb_topology() -> impl Strategy<Value = (u16, u16, u32)> {
+    // (nodes, workers, lps_per_worker) — kept small: each case is a whole
+    // simulation run.
+    (1u16..=3, 1u16..=3, 2u32..=6)
+}
+
+fn phold_for(cfg: &SimConfig, regional: f64, remote: f64, epg: u64) -> PholdModel {
+    PholdModel::new(
+        Topology {
+            lps_per_worker: cfg.lps_per_worker,
+            workers_per_node: cfg.spec.workers_per_node,
+            nodes: cfg.spec.nodes,
+        },
+        PhaseSchedule::constant(PholdParams::new(regional, remote, epg)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    /// Any random PHOLD parameterization on any small topology, under any
+    /// algorithm, commits exactly the sequential reference's events and
+    /// states.
+    #[test]
+    fn random_runs_match_sequential(
+        kind in arb_kind(),
+        (nodes, workers, lpw) in arb_topology(),
+        regional in 0.0f64..0.6,
+        remote in 0.0f64..0.3,
+        epg in 100u64..20_000,
+        interval in 5u64..60,
+        seed in any::<u32>(),
+    ) {
+        let mut cfg = SimConfig::small(nodes, workers);
+        cfg.lps_per_worker = lpw;
+        cfg.end_time = 12.0;
+        cfg.gvt_interval = interval;
+        cfg.max_outstanding = (interval as usize * 16).max(128);
+        cfg.seed = seed as u64 | 0x5EED_0000_0000;
+
+        let model = phold_for(&cfg, regional, remote, epg);
+        let report = run_virtual(Arc::new(model.clone()), cfg, |shared| make_bundle(kind, shared));
+        report.check_conservation(cfg.end_vt());
+
+        let seq = SequentialSim::new(Arc::new(model), cfg).run();
+        prop_assert_eq!(report.committed, seq.processed);
+        prop_assert_eq!(report.state_fingerprint, seq.fingerprint);
+    }
+
+    /// Identical configurations are bit-identical (virtual determinism),
+    /// across all algorithms.
+    #[test]
+    fn virtual_runs_are_deterministic(
+        kind in arb_kind(),
+        seed in any::<u32>(),
+        remote in 0.0f64..0.3,
+    ) {
+        let mut cfg = SimConfig::small(2, 2);
+        cfg.lps_per_worker = 4;
+        cfg.end_time = 10.0;
+        cfg.seed = seed as u64;
+        let run = || {
+            let model = phold_for(&cfg, 0.2, remote, 2_000);
+            run_virtual(Arc::new(model), cfg, |shared| make_bundle(kind, shared))
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.committed, b.committed);
+        prop_assert_eq!(a.state_fingerprint, b.state_fingerprint);
+        prop_assert_eq!(a.sched_steps, b.sched_steps);
+        prop_assert_eq!(a.sim_seconds, b.sim_seconds);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// The phase schedule always returns one of its segments and respects
+    /// segment boundaries.
+    #[test]
+    fn phase_schedule_total(x in 1.0f64..40.0, y in 1.0f64..40.0, p in 0.0f64..1.0) {
+        let a = PholdParams::new(0.1, 0.01, 10_000);
+        let b = PholdParams::new(0.9, 0.10, 5_000);
+        let s = PhaseSchedule::alternating(x, a, y, b);
+        let got = s.at(p);
+        prop_assert!(got == a || got == b);
+        // Position within the cycle decides the segment.
+        let cycle = (x + y) / 100.0;
+        let pos = (p / cycle).fract() * (x + y);
+        if pos < x {
+            prop_assert_eq!(got, a);
+        } else {
+            prop_assert_eq!(got, b);
+        }
+    }
+}
