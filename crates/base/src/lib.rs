@@ -17,12 +17,14 @@
 //!   OS threads) know how to drive.
 
 pub mod actor;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use actor::{Actor, StepOutcome, StepResult};
+pub use fault::{FaultInjector, FaultStats, LinkShape, NoFaults};
 pub use ids::{ActorId, EventId, LaneId, LpId, NodeId};
 pub use rng::{Pcg32, SplitMix64};
 pub use stats::Welford;

@@ -28,11 +28,7 @@ fn pending_set(c: &mut Criterion) {
     group.bench_function("insert_pop_1k", |b| {
         let mut rng = Pcg32::new(1, 1);
         b.iter_batched(
-            || {
-                (0..1_000)
-                    .map(|i| ev(rng.next_f64() * 100.0, i))
-                    .collect::<Vec<_>>()
-            },
+            || (0..1_000).map(|i| ev(rng.next_f64() * 100.0, i)).collect::<Vec<_>>(),
             |events| {
                 let mut ps = PendingSet::new();
                 for e in events {
@@ -46,11 +42,7 @@ fn pending_set(c: &mut Criterion) {
     group.bench_function("cancel_half_1k", |b| {
         let mut rng = Pcg32::new(2, 2);
         b.iter_batched(
-            || {
-                (0..1_000)
-                    .map(|i| ev(rng.next_f64() * 100.0, i))
-                    .collect::<Vec<_>>()
-            },
+            || (0..1_000).map(|i| ev(rng.next_f64() * 100.0, i)).collect::<Vec<_>>(),
             |events| {
                 let mut ps = PendingSet::new();
                 let keys: Vec<_> = events.iter().map(|e| e.key()).collect();
@@ -132,11 +124,9 @@ fn rollback_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("rollback_strategy");
     group.sample_size(10);
     let scale = Scale::bench();
-    for (name, periodic, force_snapshot) in [
-        ("reverse", None, false),
-        ("snapshot", None, true),
-        ("periodic_16", Some(16u32), false),
-    ] {
+    for (name, periodic, force_snapshot) in
+        [("reverse", None, false), ("snapshot", None, true), ("periodic_16", Some(16u32), false)]
+    {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut cfg = base_config(2, MpiMode::Dedicated, 25, &scale);

@@ -1,19 +1,19 @@
 //! Regenerate the paper's figures and tables as CSV.
 //!
 //! ```text
-//! figures [all | fig3 fig4 fig5 fig6 fig8 fig9 fig10 fig11 fig12
-//!          stats epg-sweep ca-trace threshold-sweep interval-sweep
-//!          mpi-modes] [--paper] [--bench-scale] [--out DIR]
+//! figures [all | <mode>...] [--paper] [--bench-scale] [--out DIR]
 //! ```
 //!
-//! Default scale keeps the paper's 60-workers-per-node shape with a
-//! reduced LP count and horizon; `--paper` runs the full 128-LPs-per-worker
-//! geometry (slow). Rows print to stdout; with `--out DIR` each figure is
+//! Run with an unknown mode name to print the full mode list. Default
+//! scale keeps the paper's 60-workers-per-node shape with a reduced LP
+//! count and horizon; `--paper` runs the full 128-LPs-per-worker geometry
+//! (slow). Rows print to stdout; with `--out DIR` each figure is
 //! additionally written to `DIR/<figure>.csv`.
 
 use cagvt_bench::{
-    base_config, ca_queue, epg_sweep, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig8, fig9,
-    interval_sweep, mpi_modes, run_one, samadi, stats_table, threshold_sweep, Row, Scale,
+    base_config, ca_queue, epg_sweep, fault_sweep, fig10, fig11, fig12, fig3, fig4, fig5, fig6,
+    fig8, fig9, interval_sweep, mpi_modes, run_one, samadi, stats_table, threshold_sweep, Row,
+    Scale,
 };
 use cagvt_models::presets::comm_dominated;
 use cagvt_net::MpiMode;
@@ -34,6 +34,46 @@ fn ca_trace(scale: &Scale) -> Vec<Row> {
         report.efficiency * 100.0
     );
     vec![Row { figure: "ca-trace", series: "ca-gvt".into(), nodes, report }]
+}
+
+/// One runnable experiment mode.
+struct Mode {
+    name: &'static str,
+    /// Included in the default run and in `all` (ablations stay opt-in).
+    core: bool,
+    run: fn(&Scale) -> Vec<Row>,
+}
+
+/// The single source of truth for every mode the binary knows: the
+/// dispatcher, the `all` expansion and the unknown-mode listing all read
+/// this table.
+const MODES: &[Mode] = &[
+    Mode { name: "fig3", core: true, run: fig3 },
+    Mode { name: "fig4", core: true, run: fig4 },
+    Mode { name: "fig5", core: true, run: fig5 },
+    Mode { name: "fig6", core: true, run: fig6 },
+    Mode { name: "fig8", core: true, run: fig8 },
+    Mode { name: "fig9", core: true, run: fig9 },
+    Mode { name: "fig10", core: true, run: fig10 },
+    Mode { name: "fig11", core: true, run: fig11 },
+    Mode { name: "fig12", core: true, run: fig12 },
+    Mode { name: "stats", core: true, run: stats_table },
+    Mode { name: "epg-sweep", core: true, run: epg_sweep },
+    Mode { name: "ca-trace", core: true, run: ca_trace },
+    Mode { name: "threshold-sweep", core: false, run: threshold_sweep },
+    Mode { name: "ca-queue", core: false, run: ca_queue },
+    Mode { name: "samadi", core: false, run: samadi },
+    Mode { name: "interval-sweep", core: false, run: interval_sweep },
+    Mode { name: "mpi-modes", core: false, run: mpi_modes },
+    Mode { name: "faults", core: false, run: fault_sweep },
+];
+
+fn find_mode(name: &str) -> Option<&'static Mode> {
+    MODES.iter().find(|m| m.name == name)
+}
+
+fn mode_list() -> String {
+    MODES.iter().map(|m| m.name).collect::<Vec<_>>().join(" ")
 }
 
 fn main() {
@@ -69,13 +109,8 @@ fn main() {
     }
     // "all" expands to every paper experiment (ablations stay opt-in but
     // can be combined with it on the same command line).
-    let core_set: Vec<String> = [
-        "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
-        "stats", "epg-sweep", "ca-trace",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
+    let core_set: Vec<String> =
+        MODES.iter().filter(|m| m.core).map(|m| m.name.to_string()).collect();
     if selected.is_empty() {
         selected = core_set;
     } else if selected.iter().any(|s| s == "all") {
@@ -95,29 +130,12 @@ fn main() {
     println!("{}", Row::csv_header());
     for name in &selected {
         let t0 = std::time::Instant::now();
-        let rows = match name.as_str() {
-            "fig3" => fig3(&scale),
-            "fig4" => fig4(&scale),
-            "fig5" => fig5(&scale),
-            "fig6" => fig6(&scale),
-            "fig8" => fig8(&scale),
-            "fig9" => fig9(&scale),
-            "fig10" => fig10(&scale),
-            "fig11" => fig11(&scale),
-            "fig12" => fig12(&scale),
-            "stats" => stats_table(&scale),
-            "epg-sweep" => epg_sweep(&scale),
-            "ca-trace" => ca_trace(&scale),
-            "threshold-sweep" => threshold_sweep(&scale),
-            "ca-queue" => ca_queue(&scale),
-            "samadi" => samadi(&scale),
-            "interval-sweep" => interval_sweep(&scale),
-            "mpi-modes" => mpi_modes(&scale),
-            other => {
-                eprintln!("unknown experiment: {other}");
-                std::process::exit(2);
-            }
+        let Some(mode) = find_mode(name) else {
+            eprintln!("unknown experiment: {name}");
+            eprintln!("available modes: all {}", mode_list());
+            std::process::exit(2);
         };
+        let rows = (mode.run)(&scale);
         for row in &rows {
             println!("{}", row.csv());
         }

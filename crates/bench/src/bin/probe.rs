@@ -20,7 +20,7 @@ fn main() {
         "mixed" => mixed_model(&cfg, 10.0, 15.0),
         "mixed1" => {
             use cagvt_models::phold::{PhaseSchedule, PholdModel, Topology};
-            use cagvt_models::presets::{Workload, COMP_PARAMS, COMM_PARAMS};
+            use cagvt_models::presets::{Workload, COMM_PARAMS, COMP_PARAMS};
             Workload {
                 name: "mixed1".into(),
                 model: PholdModel::new(
@@ -38,6 +38,13 @@ fn main() {
     };
     let r = run_one(kind, &workload, cfg);
     println!("{r}");
-    println!("steady_rate={:.0} window_rounds={} gvt_rounds={} req_interval={} req_idle={} throttled={}",
-        r.steady_rate, r.window_rounds, r.gvt_rounds, r.requests_interval, r.requests_idle, r.throttled_steps);
+    println!(
+        "steady_rate={:.0} window_rounds={} gvt_rounds={} req_interval={} req_idle={} throttled={}",
+        r.steady_rate,
+        r.window_rounds,
+        r.gvt_rounds,
+        r.requests_interval,
+        r.requests_idle,
+        r.throttled_steps
+    );
 }

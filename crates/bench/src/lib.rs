@@ -16,12 +16,14 @@
 
 pub mod summary;
 
+use cagvt_base::{FaultInjector, WallNs};
 use cagvt_core::cluster::run_virtual_with;
 use cagvt_core::{RunReport, SimConfig};
 use cagvt_exec::VirtualConfig;
+use cagvt_fault::{FaultPlan, FaultRuntime, FaultSpec, FaultTopology};
 use cagvt_gvt::{make_bundle, GvtKind};
-use cagvt_models::presets::{comm_dominated, comp_dominated, mixed_model, Workload};
 use cagvt_models::phold::{PhaseSchedule, PholdModel, PholdParams};
+use cagvt_models::presets::{comm_dominated, comp_dominated, mixed_model, Workload};
 use cagvt_net::MpiMode;
 use std::sync::Arc;
 
@@ -82,8 +84,20 @@ fn scheduler_valves() -> VirtualConfig {
 
 /// Run one `(algorithm, workload, topology)` combination.
 pub fn run_one(kind: GvtKind, workload: &Workload, cfg: SimConfig) -> RunReport {
+    run_one_faulted(kind, workload, cfg, None)
+}
+
+/// [`run_one`] on a perturbed cluster: the injector shapes actor costs,
+/// link traffic and MPI pumps across every layer of the run.
+pub fn run_one_faulted(
+    kind: GvtKind,
+    workload: &Workload,
+    cfg: SimConfig,
+    faults: Option<Arc<dyn FaultInjector>>,
+) -> RunReport {
     let model = Arc::new(workload.model.clone());
-    run_virtual_with(model, cfg, scheduler_valves(), |shared| make_bundle(kind, shared))
+    let vcfg = VirtualConfig { faults, ..scheduler_valves() };
+    run_virtual_with(model, cfg, vcfg, |shared| make_bundle(kind, shared))
 }
 
 /// One data point of a figure.
@@ -98,13 +112,14 @@ pub struct Row {
 impl Row {
     pub fn csv_header() -> &'static str {
         "figure,series,nodes,steady_rate,committed_rate,efficiency,committed,rollbacks,rolled_back,\
-         gvt_rounds,gvt_time_mean,lvt_disparity,sync_rounds,async_rounds,sim_seconds"
+         gvt_rounds,gvt_time_mean,lvt_disparity,sync_rounds,async_rounds,sim_seconds,\
+         dropped_msgs,retransmits,straggled_steps,stalled_pumps"
     }
 
     pub fn csv(&self) -> String {
         let r = &self.report;
         format!(
-            "{},{},{},{:.1},{:.1},{:.4},{},{},{},{},{:.6},{:.4},{},{},{:.6}",
+            "{},{},{},{:.1},{:.1},{:.4},{},{},{},{},{:.6},{:.4},{},{},{:.6},{},{},{},{}",
             self.figure,
             self.series,
             self.nodes,
@@ -120,6 +135,10 @@ impl Row {
             r.sync_rounds,
             r.async_rounds,
             r.sim_seconds,
+            r.faults.dropped_msgs,
+            r.faults.retransmits,
+            r.faults.straggled_steps,
+            r.faults.stalled_pumps,
         )
     }
 }
@@ -275,12 +294,7 @@ pub fn stats_table(scale: &Scale) -> Vec<Row> {
             let cfg = base_config(nodes, mode, 25, scale);
             let workload = make(&cfg);
             let report = run_one(kind, &workload, cfg);
-            rows.push(Row {
-                figure: "stats",
-                series: format!("{wname}-{series}"),
-                nodes,
-                report,
-            });
+            rows.push(Row { figure: "stats", series: format!("{wname}-{series}"), nodes, report });
         }
     }
     rows
@@ -335,9 +349,7 @@ pub fn interval_sweep(scale: &Scale) -> Vec<Row> {
     let mut rows = Vec::new();
     for (make, wname) in [(comp_dominated as WorkloadFn, "comp"), (comm_dominated, "comm")] {
         for interval in [10u64, 25, 50, 100] {
-            for (kind, series) in
-                [(GvtKind::Mattern, "mattern"), (GvtKind::Barrier, "barrier")]
-            {
+            for (kind, series) in [(GvtKind::Mattern, "mattern"), (GvtKind::Barrier, "barrier")] {
                 let nodes = *NODE_COUNTS.last().expect("non-empty");
                 let cfg = base_config(nodes, MpiMode::Dedicated, interval, scale);
                 let workload = make(&cfg);
@@ -391,6 +403,58 @@ pub fn samadi(scale: &Scale) -> Vec<Row> {
                     report,
                 });
             }
+        }
+    }
+    rows
+}
+
+/// Fault severities swept by the resilience experiment (severity 0 is the
+/// clean baseline every curve is normalized against).
+pub const FAULT_SEVERITIES: [f64; 5] = [0.0, 0.25, 0.50, 0.75, 1.0];
+
+/// Build the injector for one `(severity, topology, span)` point; `None`
+/// at severity 0 keeps the baseline byte-identical to an unfaulted run.
+pub fn make_faults(
+    severity: f64,
+    topology: FaultTopology,
+    seed: u64,
+    span: WallNs,
+) -> Option<Arc<dyn FaultInjector>> {
+    if severity <= 0.0 {
+        return None;
+    }
+    let spec = FaultSpec::new(severity, seed, span);
+    let plan = FaultPlan::generate(&topology, &spec);
+    Some(Arc::new(FaultRuntime::new(topology, &plan, spec.seed)))
+}
+
+/// Resilience curves: Mattern vs Barrier vs CA-GVT on a mid-size cluster
+/// under increasing fault severity — straggling nodes, degraded links,
+/// stalled MPI pumps and message drops, all from one seeded plan per
+/// severity. The x-axis here is severity (the `series` column carries it),
+/// not node count.
+pub fn fault_sweep(scale: &Scale) -> Vec<Row> {
+    let nodes = 4;
+    let mut rows = Vec::new();
+    // Anchor the perturbation windows on the clean Mattern makespan so
+    // they actually overlap each run; one shared span keeps every
+    // algorithm facing the identical plan at each severity.
+    let cfg0 = base_config(nodes, MpiMode::Dedicated, 25, scale);
+    let clean = run_one(GvtKind::Mattern, &comm_dominated(&cfg0), cfg0);
+    let span = WallNs(((clean.sim_seconds * 1e9) as u64).max(1_000_000));
+    let topology = FaultTopology::from(&cfg0.spec);
+    for &(kind, mode, series) in &THREE_ALGORITHMS {
+        for &severity in &FAULT_SEVERITIES {
+            let cfg = base_config(nodes, mode, 25, scale);
+            let workload = comm_dominated(&cfg);
+            let faults = make_faults(severity, topology, scale.seed ^ 0xFA17, span);
+            let report = run_one_faulted(kind, &workload, cfg, faults);
+            rows.push(Row {
+                figure: "faults",
+                series: format!("{series}-s{severity:.2}"),
+                nodes,
+                report,
+            });
         }
     }
     rows

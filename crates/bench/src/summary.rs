@@ -22,9 +22,7 @@ pub fn parse_figure_csv(content: &str) -> Result<Vec<FigRow>, String> {
     let header = lines.next().ok_or("empty csv")?;
     let cols: Vec<&str> = header.split(',').map(|s| s.trim()).collect();
     let idx = |name: &str| {
-        cols.iter()
-            .position(|c| *c == name)
-            .ok_or_else(|| format!("missing column {name}"))
+        cols.iter().position(|c| *c == name).ok_or_else(|| format!("missing column {name}"))
     };
     let (i_series, i_nodes, i_steady, i_committed, i_eff) = (
         idx("series")?,
@@ -71,17 +69,94 @@ struct Claim {
 }
 
 const CLAIMS: &[Claim] = &[
-    Claim { label: "dedicated over inline, COMP (Mattern)", figure: "fig3", over: "mattern-dedicated", under: "mattern-inline", paper_pct: 51.0, whole_run: false },
-    Claim { label: "dedicated over inline, COMP (Barrier)", figure: "fig3", over: "barrier-dedicated", under: "barrier-inline", paper_pct: 17.0, whole_run: false },
-    Claim { label: "dedicated over inline, COMM (Mattern)", figure: "fig4", over: "mattern-dedicated", under: "mattern-inline", paper_pct: 1359.0, whole_run: true },
-    Claim { label: "dedicated over inline, COMM (Barrier)", figure: "fig4", over: "barrier-dedicated", under: "barrier-inline", paper_pct: 329.0, whole_run: true },
-    Claim { label: "Mattern over Barrier, COMP", figure: "fig5", over: "mattern", under: "barrier", paper_pct: 27.9, whole_run: false },
-    Claim { label: "Barrier over Mattern, COMM", figure: "fig6", over: "barrier", under: "mattern", paper_pct: 14.5, whole_run: false },
-    Claim { label: "CA-GVT over Barrier, COMP", figure: "fig8", over: "ca-gvt", under: "barrier", paper_pct: 19.0, whole_run: false },
-    Claim { label: "CA-GVT over Mattern, COMM", figure: "fig9", over: "ca-gvt", under: "mattern", paper_pct: 13.0, whole_run: false },
-    Claim { label: "CA-GVT over Barrier, mixed 10-15", figure: "fig10", over: "ca-gvt", under: "barrier", paper_pct: 6.4, whole_run: false },
-    Claim { label: "CA-GVT over Barrier, mixed 15-10", figure: "fig11", over: "ca-gvt", under: "barrier", paper_pct: 12.7, whole_run: false },
-    Claim { label: "CA-GVT over Barrier, mixed 5-5", figure: "fig12", over: "ca-gvt", under: "barrier", paper_pct: 8.3, whole_run: false },
+    Claim {
+        label: "dedicated over inline, COMP (Mattern)",
+        figure: "fig3",
+        over: "mattern-dedicated",
+        under: "mattern-inline",
+        paper_pct: 51.0,
+        whole_run: false,
+    },
+    Claim {
+        label: "dedicated over inline, COMP (Barrier)",
+        figure: "fig3",
+        over: "barrier-dedicated",
+        under: "barrier-inline",
+        paper_pct: 17.0,
+        whole_run: false,
+    },
+    Claim {
+        label: "dedicated over inline, COMM (Mattern)",
+        figure: "fig4",
+        over: "mattern-dedicated",
+        under: "mattern-inline",
+        paper_pct: 1359.0,
+        whole_run: true,
+    },
+    Claim {
+        label: "dedicated over inline, COMM (Barrier)",
+        figure: "fig4",
+        over: "barrier-dedicated",
+        under: "barrier-inline",
+        paper_pct: 329.0,
+        whole_run: true,
+    },
+    Claim {
+        label: "Mattern over Barrier, COMP",
+        figure: "fig5",
+        over: "mattern",
+        under: "barrier",
+        paper_pct: 27.9,
+        whole_run: false,
+    },
+    Claim {
+        label: "Barrier over Mattern, COMM",
+        figure: "fig6",
+        over: "barrier",
+        under: "mattern",
+        paper_pct: 14.5,
+        whole_run: false,
+    },
+    Claim {
+        label: "CA-GVT over Barrier, COMP",
+        figure: "fig8",
+        over: "ca-gvt",
+        under: "barrier",
+        paper_pct: 19.0,
+        whole_run: false,
+    },
+    Claim {
+        label: "CA-GVT over Mattern, COMM",
+        figure: "fig9",
+        over: "ca-gvt",
+        under: "mattern",
+        paper_pct: 13.0,
+        whole_run: false,
+    },
+    Claim {
+        label: "CA-GVT over Barrier, mixed 10-15",
+        figure: "fig10",
+        over: "ca-gvt",
+        under: "barrier",
+        paper_pct: 6.4,
+        whole_run: false,
+    },
+    Claim {
+        label: "CA-GVT over Barrier, mixed 15-10",
+        figure: "fig11",
+        over: "ca-gvt",
+        under: "barrier",
+        paper_pct: 12.7,
+        whole_run: false,
+    },
+    Claim {
+        label: "CA-GVT over Barrier, mixed 5-5",
+        figure: "fig12",
+        over: "ca-gvt",
+        under: "barrier",
+        paper_pct: 8.3,
+        whole_run: false,
+    },
 ];
 
 /// Render the headline table from a directory of figure CSVs. Missing
@@ -106,11 +181,13 @@ pub fn summarize(dir: &Path) -> Result<String, String> {
     writeln!(out, "{}", "-".repeat(78)).unwrap();
     for claim in CLAIMS {
         let Some(rows) = figures.get(claim.figure) else {
-            writeln!(out, "{:<44} {:>9.1}% {:>10}", claim.label, claim.paper_pct, "missing").unwrap();
+            writeln!(out, "{:<44} {:>9.1}% {:>10}", claim.label, claim.paper_pct, "missing")
+                .unwrap();
             continue;
         };
         let (Some(a), Some(b)) = (at(rows, claim.over, 8), at(rows, claim.under, 8)) else {
-            writeln!(out, "{:<44} {:>9.1}% {:>10}", claim.label, claim.paper_pct, "no-data").unwrap();
+            writeln!(out, "{:<44} {:>9.1}% {:>10}", claim.label, claim.paper_pct, "no-data")
+                .unwrap();
             continue;
         };
         let (ra, rb) = if claim.whole_run {
@@ -136,7 +213,11 @@ pub fn summarize(dir: &Path) -> Result<String, String> {
 
     // Efficiency corner: the paper's COMM efficiencies.
     if let Some(rows) = figures.get("fig9") {
-        writeln!(out, "\nCOMM efficiencies at 8 nodes (paper: Mattern 36.2%, Barrier 85.3%, CA 80.0%):").unwrap();
+        writeln!(
+            out,
+            "\nCOMM efficiencies at 8 nodes (paper: Mattern 36.2%, Barrier 85.3%, CA 80.0%):"
+        )
+        .unwrap();
         for s in ["mattern", "barrier", "ca-gvt"] {
             if let Some(r) = at(rows, s, 8) {
                 writeln!(out, "  {:<8} {:>6.1}%", s, r.efficiency * 100.0).unwrap();

@@ -1,10 +1,11 @@
 //! Cluster construction and the virtual-run driver.
 
 use cagvt_base::actor::Actor;
+use cagvt_base::fault::FaultInjector;
 use cagvt_base::ids::{ActorId, EventId, LaneId, LpId, NodeId};
 use cagvt_base::time::VirtualTime;
 use cagvt_exec::{VirtualConfig, VirtualScheduler};
-use cagvt_net::{fabric_pair, MpiMode};
+use cagvt_net::{fabric_pair_faulted, MpiMode};
 use std::sync::Arc;
 
 use crate::config::SimConfig;
@@ -28,19 +29,27 @@ pub struct ClusterHandles<M: Model> {
 /// built on top by [`build_cluster`]; exposed separately so GVT bundle
 /// factories can be handed the shared state first).
 pub fn build_shared<M: Model>(model: Arc<M>, cfg: SimConfig) -> Arc<EngineShared<M>> {
+    build_shared_faulted(model, cfg, None)
+}
+
+/// [`build_shared`] with a fault injector installed: the fabric shapes
+/// every inter-node message through it and the MPI pumps consult it for
+/// stall windows.
+pub fn build_shared_faulted<M: Model>(
+    model: Arc<M>,
+    cfg: SimConfig,
+    faults: Option<Arc<dyn FaultInjector>>,
+) -> Arc<EngineShared<M>> {
     cfg.validate();
     let spec = cfg.spec;
     let stats = Arc::new(SharedStats::new(spec.total_workers()));
-    let gvt_core = Arc::new(GvtSharedCore::new(
-        Arc::clone(&stats),
-        spec.nodes,
-        spec.workers_per_node,
-    ));
-    let (fabric, ctrl) = fabric_pair(spec.nodes);
+    let gvt_core =
+        Arc::new(GvtSharedCore::new(Arc::clone(&stats), spec.nodes, spec.workers_per_node));
+    let (fabric, ctrl) = fabric_pair_faulted(spec.nodes, faults.clone());
     let nodes = (0..spec.nodes)
         .map(|n| Arc::new(NodeShared::new(NodeId(n), spec.workers_per_node)))
         .collect();
-    Arc::new(EngineShared { cfg, model, fabric, ctrl, nodes, gvt_core, stats })
+    Arc::new(EngineShared { cfg, model, fabric, ctrl, nodes, gvt_core, stats, faults })
 }
 
 /// Build every actor of a run: all workers plus (in dedicated mode) one
@@ -185,7 +194,9 @@ pub fn run_virtual_with<M: Model>(
     vcfg: VirtualConfig,
     make_bundle: impl FnOnce(&Arc<EngineShared<M>>) -> Box<dyn GvtBundle>,
 ) -> RunReport {
-    let shared = build_shared(model, cfg);
+    // The injector set on the scheduler config also drives the fabric and
+    // MPI pumps, so one `vcfg.faults` perturbs every layer consistently.
+    let shared = build_shared_faulted(model, cfg, vcfg.faults.clone());
     let bundle = make_bundle(&shared);
     let (actors, handles) = build_cluster(Arc::clone(&shared), &*bundle);
     let stats = VirtualScheduler::new(vcfg).run(actors);

@@ -111,7 +111,10 @@ impl SimConfig {
         assert!(self.lps_per_worker >= 1, "need at least one LP per worker");
         assert!(self.end_time > 0.0, "end time must be positive");
         assert!(self.gvt_interval >= 1, "GVT interval must be >= 1");
-        assert!(self.max_outstanding >= self.gvt_interval as usize, "throttle below the GVT interval would deadlock rounds");
+        assert!(
+            self.max_outstanding >= self.gvt_interval as usize,
+            "throttle below the GVT interval would deadlock rounds"
+        );
         assert!(self.recv_batch >= 1 && self.mpi_batch >= 1);
     }
 }

@@ -38,11 +38,14 @@ pub mod seq;
 pub mod stats;
 pub mod worker;
 
-pub use cluster::{build_cluster, run_virtual, ClusterHandles};
+pub use cluster::{
+    build_cluster, build_shared, build_shared_faulted, run_virtual, run_virtual_with,
+    ClusterHandles,
+};
 pub use config::SimConfig;
 pub use event::{AntiMsg, Event, EventKey, EventMsg, RemoteEnv, TaggedMsg, WHITE_TAG};
 pub use gvt::{GvtBundle, GvtSharedCore, MpiGvt, WorkerGvt, WorkerGvtCtx, WorkerGvtOutcome};
-pub use model::{EventCtx, Emitter, Model};
+pub use model::{Emitter, EventCtx, Model};
 pub use report::RunReport;
 pub use seq::SequentialSim;
 

@@ -210,11 +210,7 @@ impl<M: Model> LpRuntime<M> {
             RollbackStrategy::PeriodicSnapshot(k) => {
                 if self.since_snapshot == 0 || self.since_snapshot >= k {
                     self.since_snapshot = 1;
-                    Prior::Snapshot {
-                        state: self.state.clone(),
-                        rng: self.rng,
-                        seq: self.send_seq,
-                    }
+                    Prior::Snapshot { state: self.state.clone(), rng: self.rng, seq: self.send_seq }
                 } else {
                     self.since_snapshot += 1;
                     Prior::Coast
@@ -266,7 +262,11 @@ impl<M: Model> LpRuntime<M> {
         let mut antis = Vec::new();
         let mut undone = 0u64;
         while let Some(back) = self.processed.back() {
-            let boundary = if cancel.is_some() { back.event.key() >= to_key } else { back.event.key() > to_key };
+            let boundary = if cancel.is_some() {
+                back.event.key() >= to_key
+            } else {
+                back.event.key() > to_key
+            };
             if !boundary {
                 break;
             }
@@ -344,7 +344,8 @@ impl<M: Model> LpRuntime<M> {
         let mut sink: Emitter<M::Payload> = Emitter::new();
         for e in replay.into_iter().rev() {
             let ctx = self.ctx_for(&e.event);
-            let _epg = model.handle(&ctx, &mut self.state, &e.event.payload, &mut self.rng, &mut sink);
+            let _epg =
+                model.handle(&ctx, &mut self.state, &e.event.payload, &mut self.rng, &mut sink);
             sink.take().for_each(drop);
             self.send_seq += e.sent.len() as u64;
             self.processed.push_back(e);
@@ -528,10 +529,7 @@ mod tests {
         process_one(&mut lp, ev(3.0, 2, 9));
 
         // Straggler at t=1.5 undoes the t=2 and t=3 events.
-        let straggler_key = EventKey {
-            t: VirtualTime::new(1.5),
-            id: EventId::new(LpId(9), 10),
-        };
+        let straggler_key = EventKey { t: VirtualTime::new(1.5), id: EventId::new(LpId(9), 10) };
         let rb = lp.rollback_to(&CounterModel, straggler_key);
         assert_eq!(rb.undone, 2);
         assert_eq!(rb.reenqueue.len(), 2);
@@ -551,7 +549,10 @@ mod tests {
         let final_state = lp.state.clone();
         let final_rng = lp.rng;
 
-        let rb = lp.rollback_to(&CounterModel, EventKey { t: VirtualTime::new(0.5), id: EventId::new(LpId(9), 99) });
+        let rb = lp.rollback_to(
+            &CounterModel,
+            EventKey { t: VirtualTime::new(0.5), id: EventId::new(LpId(9), 99) },
+        );
         assert_eq!(rb.undone, 2);
         // Replay both in order.
         let mut events = rb.reenqueue;

@@ -99,6 +99,11 @@ impl<M: Model> MpiPump<M> {
         // time stolen from event processing. The dedicated actor's polls
         // ride on its own core.
         let mut charge = if self.charge_poll { cost_model.mpi_poll } else { WallNs::ZERO };
+        // A stalled MPI progress engine charges its stall before any
+        // traffic moves: sends and receives all land after the stall.
+        if let Some(f) = &self.shared.faults {
+            charge += f.mpi_stall(self.node, now);
+        }
 
         // Outbound: node outbox -> fabric.
         self.nshared.note_outbox_depth();
@@ -110,7 +115,13 @@ impl<M: Model> MpiPump<M> {
             let n = self.nshared.outbox.drain_ready_into(now, batch, &mut out_buf);
             for env in out_buf.drain(..) {
                 charge += self.mpi_call(now + charge, cost_model.mpi_send);
-                self.shared.fabric.send_event(self.node, env.dst_node, now + charge, env, &cost_model);
+                self.shared.fabric.send_event(
+                    self.node,
+                    env.dst_node,
+                    now + charge,
+                    env,
+                    &cost_model,
+                );
             }
             self.out_buf = out_buf;
             moved += n as u64;
@@ -134,8 +145,10 @@ impl<M: Model> MpiPump<M> {
         charge += self.gvt_mpi.step(now + charge);
 
         self.counters.pump_time += charge;
-        self.counters.outbox_hwm =
-            self.counters.outbox_hwm.max(self.nshared.outbox_hwm.load(std::sync::atomic::Ordering::Relaxed));
+        self.counters.outbox_hwm = self
+            .counters
+            .outbox_hwm
+            .max(self.nshared.outbox_hwm.load(std::sync::atomic::Ordering::Relaxed));
         (charge, moved > 0)
     }
 }

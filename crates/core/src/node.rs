@@ -52,6 +52,9 @@ pub struct EngineShared<M: Model> {
     pub nodes: Vec<Arc<NodeShared<M::Payload>>>,
     pub gvt_core: Arc<GvtSharedCore>,
     pub stats: Arc<SharedStats>,
+    /// Fault injector shared with the fabric and scheduler; consulted by
+    /// the MPI pumps for stall windows and folded into the run report.
+    pub faults: Option<Arc<dyn cagvt_base::fault::FaultInjector>>,
 }
 
 impl<M: Model> EngineShared<M> {
@@ -94,7 +97,14 @@ mod tests {
         type Payload = ();
         fn init_state(&self, _lp: LpId, _rng: &mut Pcg32) {}
         fn initial_events(&self, _lp: LpId, _s: &mut (), _rng: &mut Pcg32, _e: &mut Emitter<()>) {}
-        fn handle(&self, _c: &EventCtx, _s: &mut (), _p: &(), _r: &mut Pcg32, _e: &mut Emitter<()>) -> u64 {
+        fn handle(
+            &self,
+            _c: &EventCtx,
+            _s: &mut (),
+            _p: &(),
+            _r: &mut Pcg32,
+            _e: &mut Emitter<()>,
+        ) -> u64 {
             0
         }
     }
@@ -112,6 +122,7 @@ mod tests {
             nodes: (0..nodes).map(|n| Arc::new(NodeShared::new(NodeId(n), workers))).collect(),
             gvt_core: Arc::new(GvtSharedCore::new(Arc::clone(&stats), nodes, workers)),
             stats,
+            faults: None,
         }
     }
 
@@ -144,15 +155,21 @@ mod tests {
         let ns: NodeShared<()> = NodeShared::new(NodeId(0), 2);
         ns.note_outbox_depth();
         assert_eq!(ns.outbox_hwm.load(Ordering::Relaxed), 0);
-        ns.outbox.push(cagvt_base::WallNs::ZERO, RemoteEnv {
-            dst_node: NodeId(0),
-            dst_lane: LaneId(0),
-            tagged: TaggedMsg { msg: crate::event::EventMsg::Anti(crate::event::AntiMsg {
-                recv_time: cagvt_base::VirtualTime::ZERO,
-                dst: LpId(0),
-                id: cagvt_base::EventId::new(LpId(0), 0),
-            }), tag: 0 },
-        });
+        ns.outbox.push(
+            cagvt_base::WallNs::ZERO,
+            RemoteEnv {
+                dst_node: NodeId(0),
+                dst_lane: LaneId(0),
+                tagged: TaggedMsg {
+                    msg: crate::event::EventMsg::Anti(crate::event::AntiMsg {
+                        recv_time: cagvt_base::VirtualTime::ZERO,
+                        dst: LpId(0),
+                        id: cagvt_base::EventId::new(LpId(0), 0),
+                    }),
+                    tag: 0,
+                },
+            },
+        );
         ns.note_outbox_depth();
         assert_eq!(ns.outbox_hwm.load(Ordering::Relaxed), 1);
     }

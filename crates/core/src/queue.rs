@@ -209,9 +209,8 @@ mod tests {
         ps.insert(ev(1.0, 2, 5));
         ps.insert(ev(1.0, 1, 9));
         ps.insert(ev(2.0, 0, 1));
-        let order: Vec<f64> = std::iter::from_fn(|| ps.pop_min())
-            .map(|e| e.recv_time.as_f64())
-            .collect();
+        let order: Vec<f64> =
+            std::iter::from_fn(|| ps.pop_min()).map(|e| e.recv_time.as_f64()).collect();
         assert_eq!(order, vec![1.0, 1.0, 2.0, 3.0]);
     }
 

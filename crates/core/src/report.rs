@@ -76,6 +76,9 @@ pub struct RunReport {
     pub sched_idle_steps: u64,
     /// False if the scheduler hit a safety valve before completion.
     pub completed: bool,
+
+    /// Fault-injection activity (all zero on a clean run).
+    pub faults: cagvt_base::FaultStats,
 }
 
 impl RunReport {
@@ -105,10 +108,8 @@ impl RunReport {
         let end = shared.cfg.end_time;
         let (steady_rate, window_rounds) = {
             let samples = stats.progress.lock();
-            let in_window = samples
-                .iter()
-                .filter(|s| s.gvt >= 0.15 * end && s.gvt < 0.85 * end)
-                .count() as u64;
+            let in_window =
+                samples.iter().filter(|s| s.gvt >= 0.15 * end && s.gvt < 0.85 * end).count() as u64;
             let lo = samples.iter().find(|s| s.gvt >= 0.15 * end);
             let hi = samples.iter().rev().find(|s| s.gvt < end).or(samples.last());
             let whole = if sim_seconds > 0.0 { committed as f64 / sim_seconds } else { 0.0 };
@@ -168,6 +169,7 @@ impl RunReport {
             sched_steps: sched.steps,
             sched_idle_steps: sched.idle_steps,
             completed: sched.completed,
+            faults: shared.faults.as_ref().map(|f| f.stats()).unwrap_or_default(),
         }
     }
 
@@ -175,12 +177,13 @@ impl RunReport {
     pub fn csv_header() -> &'static str {
         "algorithm,nodes,workers,mpi_mode,committed,processed,rolled_back,rollbacks,\
          efficiency,sim_seconds,committed_rate,gvt_rounds,gvt_time_mean,lvt_disparity,\
-         sync_rounds,async_rounds,sent_regional,sent_remote,final_gvt,completed"
+         sync_rounds,async_rounds,sent_regional,sent_remote,final_gvt,completed,\
+         dropped_msgs,retransmits,straggled_steps,stalled_pumps"
     }
 
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{:.4},{:.6},{:.1},{},{:.6},{:.4},{},{},{},{},{:.3},{}",
+            "{},{},{},{},{},{},{},{},{:.4},{:.6},{:.1},{},{:.6},{:.4},{},{},{},{},{:.3},{},{},{},{},{}",
             self.algorithm,
             self.nodes,
             self.workers_per_node,
@@ -201,6 +204,10 @@ impl RunReport {
             self.sent_remote,
             self.final_gvt,
             self.completed,
+            self.faults.dropped_msgs,
+            self.faults.retransmits,
+            self.faults.straggled_steps,
+            self.faults.stalled_pumps,
         )
     }
 
@@ -248,12 +255,104 @@ impl fmt::Display for RunReport {
         writeln!(
             f,
             "  gvt rounds {} (sync {} / async {}), mean gvt time {:.4}s, disparity {:.4}",
-            self.gvt_rounds, self.sync_rounds, self.async_rounds, self.gvt_time_mean, self.lvt_disparity
+            self.gvt_rounds,
+            self.sync_rounds,
+            self.async_rounds,
+            self.gvt_time_mean,
+            self.lvt_disparity
         )?;
         write!(
             f,
             "  msgs: local {}, regional {}, remote {} (mpi moved {}/{})",
             self.sent_local, self.sent_regional, self.sent_remote, self.mpi.sent, self.mpi.received
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built report that satisfies every conservation invariant.
+    fn sound_report() -> RunReport {
+        RunReport {
+            algorithm: "test".to_string(),
+            nodes: 2,
+            workers_per_node: 2,
+            mpi_mode: "dedicated",
+            committed: 90,
+            processed: 100,
+            rolled_back: 10,
+            rollbacks: 3,
+            stragglers: 2,
+            antis_sent: 1,
+            acks_sent: 0,
+            annihilated: 1,
+            efficiency: 0.9,
+            sim_seconds: 1.0,
+            committed_rate: 90.0,
+            steady_rate: 90.0,
+            gvt_rounds: 5,
+            window_rounds: 3,
+            gvt_time_mean: 0.01,
+            lvt_disparity: 0.1,
+            sync_rounds: 0,
+            async_rounds: 5,
+            sent_local: 50,
+            sent_regional: 30,
+            sent_remote: 20,
+            mpi: MpiCounters::default(),
+            final_gvt: 10.0,
+            state_fingerprint: 0xDEAD_BEEF,
+            requests_interval: 4,
+            requests_idle: 1,
+            throttled_steps: 0,
+            sched_steps: 1000,
+            sched_idle_steps: 10,
+            completed: true,
+            faults: cagvt_base::FaultStats::default(),
+        }
+    }
+
+    #[test]
+    fn conservation_accepts_a_sound_report() {
+        sound_report().check_conservation(VirtualTime::new(10.0));
+        // Finishing exactly at the end time is also acceptable: the
+        // invariant is `final_gvt >= end`, not strictly greater.
+        let mut r = sound_report();
+        r.final_gvt = 10.0;
+        r.check_conservation(VirtualTime::new(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "committed or rolled back")]
+    fn conservation_rejects_leaked_events() {
+        let mut r = sound_report();
+        // One processed event is neither committed nor rolled back.
+        r.processed += 1;
+        r.check_conservation(VirtualTime::new(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "safety valve")]
+    fn conservation_rejects_incomplete_runs() {
+        let mut r = sound_report();
+        r.completed = false;
+        r.check_conservation(VirtualTime::new(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "below end time")]
+    fn conservation_rejects_early_termination() {
+        let mut r = sound_report();
+        r.final_gvt = 9.5;
+        r.check_conservation(VirtualTime::new(10.0));
+    }
+
+    #[test]
+    fn csv_row_matches_header_field_count() {
+        let fields = RunReport::csv_header().split(',').count();
+        let row = sound_report().csv_row();
+        assert_eq!(row.split(',').count(), fields);
     }
 }

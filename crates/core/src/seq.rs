@@ -71,12 +71,7 @@ impl<M: Model> SequentialSim<M> {
             let seeds: Vec<(LpId, f64, M::Payload)> = emit.take().collect();
             for (dst, delay, payload) in seeds {
                 let id = EventId::new(LpId(i), lps[i as usize].next_seq());
-                pending.insert(Event {
-                    recv_time: VirtualTime::ZERO + delay,
-                    dst,
-                    id,
-                    payload,
-                });
+                pending.insert(Event { recv_time: VirtualTime::ZERO + delay, dst, id, payload });
             }
         }
 

@@ -213,6 +213,25 @@ mod tests {
     }
 
     #[test]
+    fn efficiency_is_zero_when_everything_rolled_back() {
+        let s = SharedStats::new(2);
+        // A pathological run where no event survived: processed work
+        // exists but nothing committed.
+        s.processed.store(50, Ordering::Relaxed);
+        s.rolled_back.store(50, Ordering::Relaxed);
+        assert_eq!(s.efficiency(), 0.0);
+    }
+
+    #[test]
+    fn efficiency_ignores_processed_only_activity() {
+        // Events in flight (processed but not yet committed or rolled
+        // back) must not drag efficiency below its optimistic 1.0 start.
+        let s = SharedStats::new(1);
+        s.processed.store(1000, Ordering::Relaxed);
+        assert_eq!(s.efficiency(), 1.0);
+    }
+
+    #[test]
     fn disparity_sampling_uses_population_std_dev() {
         let s = SharedStats::new(4);
         for (i, t) in [2.0, 4.0, 4.0, 6.0].iter().enumerate() {
@@ -227,8 +246,18 @@ mod tests {
 
     #[test]
     fn counters_merge() {
-        let mut a = WorkerCounters { processed: 10, committed: 5, gvt_time: WallNs(100), ..Default::default() };
-        let b = WorkerCounters { processed: 3, rolled_back: 2, gvt_time: WallNs(50), ..Default::default() };
+        let mut a = WorkerCounters {
+            processed: 10,
+            committed: 5,
+            gvt_time: WallNs(100),
+            ..Default::default()
+        };
+        let b = WorkerCounters {
+            processed: 3,
+            rolled_back: 2,
+            gvt_time: WallNs(50),
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.processed, 13);
         assert_eq!(a.committed, 5);

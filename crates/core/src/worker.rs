@@ -145,8 +145,22 @@ impl<M: Model> Worker<M> {
     fn route(&mut self, now: WallNs, msg: EventMsg<M::Payload>) -> WallNs {
         let cost = &self.shared.cfg.cost;
         match &msg {
-            EventMsg::Event(e) => trace_ev!(e.id, "[{}] w{} SEND event t={} dst={}", now.0, self.widx, e.recv_time, e.dst),
-            EventMsg::Anti(a) => trace_ev!(a.id, "[{}] w{} SEND anti t={} dst={}", now.0, self.widx, a.recv_time, a.dst),
+            EventMsg::Event(e) => trace_ev!(
+                e.id,
+                "[{}] w{} SEND event t={} dst={}",
+                now.0,
+                self.widx,
+                e.recv_time,
+                e.dst
+            ),
+            EventMsg::Anti(a) => trace_ev!(
+                a.id,
+                "[{}] w{} SEND anti t={} dst={}",
+                now.0,
+                self.widx,
+                a.recv_time,
+                a.dst
+            ),
             EventMsg::Ack(_) => {}
         }
         let dst = msg.dst();
@@ -193,8 +207,7 @@ impl<M: Model> Worker<M> {
             }
         }
         if dst_node == self.node {
-            let tag =
-                if is_ack { 0 } else { self.gvt.on_send(MsgClass::Regional, recv_time) };
+            let tag = if is_ack { 0 } else { self.gvt.on_send(MsgClass::Regional, recv_time) };
             self.counters.sent_regional += 1;
             self.nshared.lane_queues[dst_lane.index()]
                 .push(now + cost.regional_latency, TaggedMsg { msg, tag });
@@ -208,9 +221,7 @@ impl<M: Model> Worker<M> {
                 // contended library lock.
                 let hold = cost.mpi_send + cost.mpi_lock_hold;
                 let charge = self.nshared.mpi_lock.acquire(now, hold);
-                self.shared
-                    .fabric
-                    .send_event(self.node, dst_node, now + charge, env, cost);
+                self.shared.fabric.send_event(self.node, dst_node, now + charge, env, cost);
                 charge
             } else {
                 self.nshared.outbox.push(now, env);
@@ -260,14 +271,47 @@ impl<M: Model> Worker<M> {
             self.counters.antis_received += 1;
             let idx = self.lp_index(a.dst);
             if self.lps[idx].has_processed(a.id) {
-                trace_ev!(a.id, "[{}] w{} ANTI->rollback_cancel t={}", now.0, self.widx, a.recv_time);
+                trace_ev!(
+                    a.id,
+                    "[{}] w{} ANTI->rollback_cancel t={}",
+                    now.0,
+                    self.widx,
+                    a.recv_time
+                );
+                // GVT safety: an anti-message can only cancel work that is
+                // still provisional. Rolling back below the published GVT
+                // would mean a GVT algorithm overshot (fossil-collected
+                // state is gone), so this is checked unconditionally.
+                let gvt_floor = self.shared.gvt_core.published_gvt();
+                assert!(
+                    a.recv_time >= gvt_floor,
+                    "anti-message rollback target {} below published GVT {gvt_floor}",
+                    a.recv_time
+                );
                 let rb = self.lps[idx].rollback_cancel(&*self.model, a.id, a.key());
                 self.counters.annihilated += 1;
                 charge += self.apply_rollback(now + charge, rb);
             } else {
                 match self.pending.cancel(a.key()) {
-                    CancelOutcome::AnnihilatedPending => { trace_ev!(a.id, "[{}] w{} ANTI->annihilate-pending t={}", now.0, self.widx, a.recv_time); self.counters.annihilated += 1 },
-                    CancelOutcome::Deferred => { trace_ev!(a.id, "[{}] w{} ANTI->DEFERRED t={}", now.0, self.widx, a.recv_time); }
+                    CancelOutcome::AnnihilatedPending => {
+                        trace_ev!(
+                            a.id,
+                            "[{}] w{} ANTI->annihilate-pending t={}",
+                            now.0,
+                            self.widx,
+                            a.recv_time
+                        );
+                        self.counters.annihilated += 1
+                    }
+                    CancelOutcome::Deferred => {
+                        trace_ev!(
+                            a.id,
+                            "[{}] w{} ANTI->DEFERRED t={}",
+                            now.0,
+                            self.widx,
+                            a.recv_time
+                        );
+                    }
                 }
             }
         }
@@ -366,6 +410,16 @@ impl<M: Model> Worker<M> {
             // Straggler: roll the LP back to just before this event. Local
             // antis must apply before processing resumes — the re-execution
             // below reuses the sequence numbers they cancel.
+            //
+            // GVT safety: the rollback target must sit at or above the
+            // published GVT — state below it has been fossil-collected.
+            // Checked unconditionally so every fault-plan run exercises it.
+            let gvt_floor = self.shared.gvt_core.published_gvt();
+            assert!(
+                event.recv_time >= gvt_floor,
+                "straggler rollback target {} below published GVT {gvt_floor}",
+                event.recv_time
+            );
             self.counters.stragglers += 1;
             let rb = self.lps[idx].rollback_to(&*self.model, event.key());
             charge += self.apply_rollback(now, rb);
@@ -393,10 +447,8 @@ impl<M: Model> Worker<M> {
             let id = EventId::new(self.lps[idx].id, seq);
             let recv_time = base + delay;
             records.push(SentRecord { dst, recv_time, id });
-            charge += self.route(
-                now + charge,
-                EventMsg::Event(Event { recv_time, dst, id, payload }),
-            );
+            charge +=
+                self.route(now + charge, EventMsg::Event(Event { recv_time, dst, id, payload }));
         }
         self.lps[idx].record_sends(records);
         charge += self.drain_local_antis(now + charge);
@@ -543,8 +595,7 @@ impl<M: Model> Actor for Worker<M> {
             // Globally paced: give busy workers a full quiet interval
             // after each completed round before idle workers may force
             // another one (prevents the end-of-run round convoy).
-            let last_round =
-                WallNs(self.shared.gvt_core.last_round_wall.load(Ordering::Relaxed));
+            let last_round = WallNs(self.shared.gvt_core.last_round_wall.load(Ordering::Relaxed));
             if now.saturating_sub(last_round) >= cfg.idle_request_backoff {
                 self.counters.requests_idle += 1;
                 self.last_idle_request = now;

@@ -63,10 +63,7 @@ fn rollbacks_occur_and_do_not_corrupt_state() {
     let mut cfg = SimConfig::small(2, 2);
     cfg.end_time = 50.0;
     let report = assert_matches_sequential(model, cfg);
-    assert!(
-        report.rollbacks > 0,
-        "this configuration should produce rollbacks\n{report}"
-    );
+    assert!(report.rollbacks > 0, "this configuration should produce rollbacks\n{report}");
     assert!(report.antis_sent > 0);
 }
 
@@ -136,10 +133,7 @@ fn throttle_engages_and_is_counted() {
     cfg.max_outstanding = 2;
     let report = oracle_run(MiniHold::default(), cfg);
     report.check_conservation(cfg.end_vt());
-    assert!(
-        report.throttled_steps > 0,
-        "a throttle this tight must engage\n{report}"
-    );
+    assert!(report.throttled_steps > 0, "a throttle this tight must engage\n{report}");
     // And with the bound orders of magnitude looser it binds less.
     cfg.max_outstanding = 4096;
     let loose = oracle_run(MiniHold::default(), cfg);
@@ -157,8 +151,5 @@ fn request_counters_are_populated() {
     cfg.gvt_interval = 1;
     cfg.max_outstanding = 64;
     let report = oracle_run(MiniHold::default(), cfg);
-    assert!(
-        report.requests_interval > 0,
-        "round requests must be recorded\n{report}"
-    );
+    assert!(report.requests_interval > 0, "round requests must be recorded\n{report}");
 }

@@ -80,7 +80,12 @@ fn locked_pump_charges_through_the_node_lock() {
     let cfg = SimConfig::small(2, 1);
     let shared = build_shared(Arc::new(MiniHold::default()), cfg);
     let mut pump = MpiPump::with_poll_charging(
-        NodeId(0), Arc::clone(&shared), Box::new(NullMpiGvt), true, true, true,
+        NodeId(0),
+        Arc::clone(&shared),
+        Box::new(NullMpiGvt),
+        true,
+        true,
+        true,
     );
     shared.nodes[0].outbox.push(WallNs(0), env(1, 0, 0));
     let (charge, moved) = pump.pump(WallNs(0));

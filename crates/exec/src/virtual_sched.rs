@@ -1,12 +1,15 @@
 //! Deterministic virtual-cluster scheduler.
 
 use cagvt_base::actor::{Actor, StepOutcome};
+use cagvt_base::fault::FaultInjector;
+use cagvt_base::ids::ActorId;
 use cagvt_base::time::WallNs;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Tunables of the virtual scheduler.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub struct VirtualConfig {
     /// Minimum clock advance for a step that reported zero cost. Keeps
     /// virtual time strictly advancing so idle polling cannot livelock the
@@ -17,11 +20,25 @@ pub struct VirtualConfig {
     pub horizon: Option<WallNs>,
     /// Hard stop on total step count (debugging aid).
     pub max_steps: Option<u64>,
+    /// Fault injector consulted to scale each step's charged cost (node
+    /// straggle). `None` runs the cluster clean.
+    pub faults: Option<Arc<dyn FaultInjector>>,
 }
 
 impl Default for VirtualConfig {
     fn default() -> Self {
-        VirtualConfig { min_advance: WallNs(50), horizon: None, max_steps: None }
+        VirtualConfig { min_advance: WallNs(50), horizon: None, max_steps: None, faults: None }
+    }
+}
+
+impl std::fmt::Debug for VirtualConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualConfig")
+            .field("min_advance", &self.min_advance)
+            .field("horizon", &self.horizon)
+            .field("max_steps", &self.max_steps)
+            .field("faults", &self.faults.is_some())
+            .finish()
     }
 }
 
@@ -58,11 +75,8 @@ impl VirtualScheduler {
     pub fn run(&self, mut actors: Vec<Box<dyn Actor>>) -> VirtualRunStats {
         assert!(!actors.is_empty(), "no actors to schedule");
         // Heap of (clock, actor-id, slot) — min-first via Reverse.
-        let mut heap: BinaryHeap<Reverse<(u64, u32, usize)>> = actors
-            .iter()
-            .enumerate()
-            .map(|(slot, a)| Reverse((0u64, a.id().0, slot)))
-            .collect();
+        let mut heap: BinaryHeap<Reverse<(u64, u32, usize)>> =
+            actors.iter().enumerate().map(|(slot, a)| Reverse((0u64, a.id().0, slot))).collect();
 
         let mut live = actors.len();
         let mut steps = 0u64;
@@ -96,7 +110,11 @@ impl VirtualScheduler {
                     if outcome == StepOutcome::Idle {
                         idle_steps += 1;
                     }
-                    let advance = result.cost.max(self.cfg.min_advance);
+                    let cost = match &self.cfg.faults {
+                        Some(f) => f.actor_cost(ActorId(id), now, result.cost),
+                        None => result.cost,
+                    };
+                    let advance = cost.max(self.cfg.min_advance);
                     heap.push(Reverse((clock + advance.0, id, slot)));
                 }
             }
@@ -237,6 +255,41 @@ mod tests {
         let stats = VirtualScheduler::new(cfg).run(vec![Box::new(Forever { id: ActorId(0) })]);
         assert!(!stats.completed);
         assert_eq!(stats.steps, 500);
+    }
+
+    #[test]
+    fn fault_injector_scales_charged_cost() {
+        use cagvt_base::fault::FaultInjector;
+
+        /// Doubles every step cost of actor 0; leaves others untouched.
+        struct DoubleActorZero;
+        impl FaultInjector for DoubleActorZero {
+            fn actor_cost(&self, actor: ActorId, _now: WallNs, cost: WallNs) -> WallNs {
+                if actor == ActorId(0) {
+                    WallNs(cost.0 * 2)
+                } else {
+                    cost
+                }
+            }
+        }
+
+        let run = |faults: Option<Arc<dyn FaultInjector>>| {
+            let trace = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let actors: Vec<Box<dyn Actor>> = vec![Box::new(Tracer {
+                id: ActorId(0),
+                cost: WallNs(100),
+                left: 4,
+                trace: trace.clone(),
+            })];
+            let cfg = VirtualConfig { faults, ..Default::default() };
+            let stats = VirtualScheduler::new(cfg).run(actors);
+            assert!(stats.completed);
+            stats.final_time
+        };
+        // Clean: steps land at 0,100,200,300; done check at 400.
+        assert_eq!(run(None), WallNs(400));
+        // Straggled: each 100ns step is charged 200ns.
+        assert_eq!(run(Some(Arc::new(DoubleActorZero))), WallNs(800));
     }
 
     #[test]

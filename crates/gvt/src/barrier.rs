@@ -13,7 +13,9 @@
 
 use cagvt_base::ids::{LaneId, NodeId};
 use cagvt_base::time::{VirtualTime, WallNs};
-use cagvt_core::gvt::{GvtBundle, GvtSharedCore, MpiGvt, WorkerGvt, WorkerGvtCtx, WorkerGvtOutcome};
+use cagvt_core::gvt::{
+    GvtBundle, GvtSharedCore, MpiGvt, WorkerGvt, WorkerGvtCtx, WorkerGvtOutcome,
+};
 use cagvt_net::{ClusterSpec, CostModel, MsgClass};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;

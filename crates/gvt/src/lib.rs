@@ -53,11 +53,16 @@ pub enum GvtKind {
     /// measures.
     Samadi,
     /// CA-GVT with the given efficiency threshold (the paper uses 0.80).
-    CaGvt { threshold: f64 },
+    CaGvt {
+        threshold: f64,
+    },
     /// CA-GVT with the extended trigger from the paper's conclusion:
     /// efficiency below `threshold` *or* any node's outbound MPI queue
     /// deeper than `queue_threshold`.
-    CaGvtQueue { threshold: f64, queue_threshold: u64 },
+    CaGvtQueue {
+        threshold: f64,
+        queue_threshold: u64,
+    },
 }
 
 impl GvtKind {
@@ -87,8 +92,15 @@ pub fn make_bundle<M: Model>(kind: GvtKind, shared: &Arc<EngineShared<M>>) -> Bo
         GvtKind::CaGvt { threshold } => {
             Box::new(CaGvtBundle::new(core, ctrl, spec, cost, threshold))
         }
-        GvtKind::CaGvtQueue { threshold, queue_threshold } => Box::new(
-            CaGvtBundle::with_queue_threshold(core, ctrl, spec, cost, threshold, Some(queue_threshold)),
-        ),
+        GvtKind::CaGvtQueue { threshold, queue_threshold } => {
+            Box::new(CaGvtBundle::with_queue_threshold(
+                core,
+                ctrl,
+                spec,
+                cost,
+                threshold,
+                Some(queue_threshold),
+            ))
+        }
     }
 }

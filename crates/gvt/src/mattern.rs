@@ -42,7 +42,9 @@
 
 use cagvt_base::ids::{LaneId, NodeId};
 use cagvt_base::time::{VirtualTime, WallNs};
-use cagvt_core::gvt::{GvtBundle, GvtSharedCore, MpiGvt, WorkerGvt, WorkerGvtCtx, WorkerGvtOutcome};
+use cagvt_core::gvt::{
+    GvtBundle, GvtSharedCore, MpiGvt, WorkerGvt, WorkerGvtCtx, WorkerGvtOutcome,
+};
 use cagvt_core::stats::GvtRoundRecord;
 use cagvt_net::{ClusterSpec, CostModel, CtrlMsg, CtrlPlane, MsgClass};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -457,10 +459,8 @@ impl MatternMpi {
                 dc as f64 / (dc + dr) as f64
             };
             let was_sync = ca.sync_flag.load(Ordering::Acquire);
-            let queue_high = ca
-                .queue_threshold
-                .map(|t| shared.core.max_mpi_queue_depth() > t)
-                .unwrap_or(false);
+            let queue_high =
+                ca.queue_threshold.map(|t| shared.core.max_mpi_queue_depth() > t).unwrap_or(false);
             ca.sync_flag.store(efficiency < ca.threshold || queue_high, Ordering::Release);
             shared.core.stats.gvt_trace.lock().push(GvtRoundRecord {
                 round: msg.round,
@@ -501,11 +501,10 @@ impl MpiGvt for MatternMpi {
                         self.initiator = InitiatorState::SumPass(started);
                     }
                 }
-                InitiatorState::AwaitChecks(round)
-                    if shared.all_checked(self.node, round) => {
-                        charge += self.launch_min_pass(now + charge, round);
-                        self.initiator = InitiatorState::MinPass(round);
-                    }
+                InitiatorState::AwaitChecks(round) if shared.all_checked(self.node, round) => {
+                    charge += self.launch_min_pass(now + charge, round);
+                    self.initiator = InitiatorState::MinPass(round);
+                }
                 _ => {}
             }
         }
@@ -539,8 +538,7 @@ impl MpiGvt for MatternMpi {
                 (KIND_SUM, false) => {
                     if shared.all_joined(self.node, m.round) {
                         let mut m = m;
-                        m.sum +=
-                            shared.per_node[self.node.index()].white.load(Ordering::Acquire);
+                        m.sum += shared.per_node[self.node.index()].white.load(Ordering::Acquire);
                         m.hops += 1;
                         let next = shared.ctrl.ring_next(self.node);
                         shared.ctrl.send(self.node, next, now + charge, m, &shared.cost);
@@ -591,8 +589,7 @@ mod tests {
         let core = Arc::new(GvtSharedCore::new(stats, nodes, wpn));
         let (_fabric, ctrl) = fabric_pair::<()>(nodes);
         let spec = ClusterSpec::new(nodes, wpn, cagvt_net::MpiMode::Dedicated);
-        let bundle =
-            MatternBundle::new(Arc::clone(&core), ctrl, spec, CostModel::knl_cluster());
+        let bundle = MatternBundle::new(Arc::clone(&core), ctrl, spec, CostModel::knl_cluster());
         (core, bundle)
     }
 

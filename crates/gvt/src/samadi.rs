@@ -24,7 +24,9 @@
 
 use cagvt_base::ids::{EventId, LaneId, NodeId};
 use cagvt_base::time::{VirtualTime, WallNs};
-use cagvt_core::gvt::{GvtBundle, GvtSharedCore, MpiGvt, WorkerGvt, WorkerGvtCtx, WorkerGvtOutcome};
+use cagvt_core::gvt::{
+    GvtBundle, GvtSharedCore, MpiGvt, WorkerGvt, WorkerGvtCtx, WorkerGvtOutcome,
+};
 use cagvt_net::{ClusterSpec, CostModel, MsgClass};
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
@@ -155,11 +157,8 @@ impl WorkerGvt for SamadiWorker {
             State::Idle => {
                 if try_join_round(&self.shared.core, &self.shared.rounds_started, self.rounds_done)
                 {
-                    let report = ctx
-                        .lvt
-                        .to_ordered_bits()
-                        .min(self.unacked_min())
-                        .min(self.marked_min);
+                    let report =
+                        ctx.lvt.to_ordered_bits().min(self.unacked_min()).min(self.marked_min);
                     let gen = self.shared.reduce.arrive(self.node, 0, report);
                     self.reported = true;
                     self.state = State::Wait(gen);

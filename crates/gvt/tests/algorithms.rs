@@ -2,7 +2,7 @@
 //! algorithm, must terminate and commit exactly the sequential reference's
 //! events and states, on every topology and MPI mode.
 
-use cagvt_core::cluster::{run_virtual_with, build_shared};
+use cagvt_core::cluster::{build_shared, run_virtual_with};
 use cagvt_core::seq::SequentialSim;
 use cagvt_core::testmodel::MiniHold;
 use cagvt_core::{RunReport, SimConfig};
@@ -51,8 +51,11 @@ fn multi_node_all_algorithms_match_sequential() {
     for kind in all_kinds() {
         let mut cfg = SimConfig::small(3, 2);
         cfg.end_time = 30.0;
-        let report =
-            assert_matches_sequential(kind, MiniHold { far_fraction: 0.4, ..Default::default() }, cfg);
+        let report = assert_matches_sequential(
+            kind,
+            MiniHold { far_fraction: 0.4, ..Default::default() },
+            cfg,
+        );
         assert!(report.sent_remote > 0, "{kind:?}: remote traffic expected");
         assert!(report.gvt_rounds > 1, "{kind:?}: several rounds expected\n{report}");
     }
@@ -122,7 +125,8 @@ fn barrier_blocks_and_mattern_does_not() {
 fn ca_gvt_records_round_trace() {
     let mut cfg = SimConfig::small(2, 2);
     cfg.end_time = 30.0;
-    let report = run(GvtKind::CA_DEFAULT, MiniHold { far_fraction: 0.5, ..Default::default() }, cfg);
+    let report =
+        run(GvtKind::CA_DEFAULT, MiniHold { far_fraction: 0.5, ..Default::default() }, cfg);
     assert_eq!(
         report.sync_rounds + report.async_rounds,
         report.gvt_rounds,
@@ -142,10 +146,7 @@ fn ca_gvt_threshold_extremes_select_modes() {
     // Threshold 1: every round after the first is synchronous (the flag
     // arms once any event rolls back).
     let mostly_sync = run(GvtKind::CaGvt { threshold: 1.0 }, model, cfg);
-    assert!(
-        mostly_sync.sync_rounds > 0,
-        "sync rounds expected at threshold 1.0\n{mostly_sync}"
-    );
+    assert!(mostly_sync.sync_rounds > 0, "sync rounds expected at threshold 1.0\n{mostly_sync}");
 }
 
 #[test]

@@ -92,13 +92,9 @@ impl Model for EpidemicModel {
     type Payload = EpidemicEvent;
 
     fn init_state(&self, lp: LpId, _rng: &mut Pcg32) -> Region {
-        let infected = if lp.0.is_multiple_of(self.seed_every) { self.population / 100 + 1 } else { 0 };
-        Region {
-            susceptible: self.population - infected,
-            infected,
-            recovered: 0,
-            exported: 0,
-        }
+        let infected =
+            if lp.0.is_multiple_of(self.seed_every) { self.population / 100 + 1 } else { 0 };
+        Region { susceptible: self.population - infected, infected, recovered: 0, exported: 0 }
     }
 
     fn initial_events(
@@ -166,8 +162,7 @@ impl Model for EpidemicModel {
     fn state_fingerprint(&self, state: &Region) -> u64 {
         (state.susceptible as u64)
             | ((state.infected as u64) << 20)
-            | ((state.recovered as u64) << 40)
-            ^ (state.exported as u64).rotate_left(52)
+            | ((state.recovered as u64) << 40) ^ (state.exported as u64).rotate_left(52)
     }
 }
 

@@ -28,7 +28,7 @@ pub mod traffic;
 
 pub use cqn::CqnModel;
 pub use epidemic::EpidemicModel;
-pub use traffic::TrafficModel;
 pub use pcs::PcsModel;
-pub use phold::{PholdModel, PholdParams, PhaseSchedule, Topology};
+pub use phold::{PhaseSchedule, PholdModel, PholdParams, Topology};
 pub use presets::{comm_dominated, comp_dominated, mixed_model, Workload};
+pub use traffic::TrafficModel;

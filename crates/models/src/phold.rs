@@ -178,11 +178,8 @@ impl PholdModel {
             let node_base = my_node * topo.lps_per_node();
             let worker_base_in_node = my_worker * topo.lps_per_worker - node_base;
             let other = rng.next_bounded(topo.lps_per_node() - topo.lps_per_worker);
-            let within = if other >= worker_base_in_node {
-                other + topo.lps_per_worker
-            } else {
-                other
-            };
+            let within =
+                if other >= worker_base_in_node { other + topo.lps_per_worker } else { other };
             (LpId(node_base + within), "regional")
         } else {
             // Local: the LP itself (the paper's fastest class).
@@ -245,13 +242,7 @@ impl Model for PholdModel {
     /// which class counter the forward pass incremented, and the checksum
     /// fold is algebraically inverted (the FNV prime is odd, hence
     /// invertible modulo 2^64).
-    fn reverse(
-        &self,
-        ctx: &EventCtx,
-        state: &mut PholdState,
-        payload: &u32,
-        rng: &mut Pcg32,
-    ) {
+    fn reverse(&self, ctx: &EventCtx, state: &mut PholdState, payload: &u32, rng: &mut Pcg32) {
         const FNV_INV: u64 = 0xCE96_5057_AFF6_957B; // (0x100000001B3)^-1 mod 2^64
         let params = self.schedule.at(ctx.progress());
         let (_dst, class) = self.draw_destination(ctx.self_lp, &params, rng);
@@ -309,10 +300,8 @@ mod tests {
 
     #[test]
     fn destination_classes_respect_topology() {
-        let model = PholdModel::new(
-            topo(),
-            PhaseSchedule::constant(PholdParams::new(0.3, 0.2, 1_000)),
-        );
+        let model =
+            PholdModel::new(topo(), PhaseSchedule::constant(PholdParams::new(0.3, 0.2, 1_000)));
         let mut rng = Pcg32::new(1, 1);
         let me = LpId(5); // node 0, worker 1
         let t = topo();
@@ -345,10 +334,8 @@ mod tests {
 
     #[test]
     fn handle_emits_exactly_one_event_with_positive_delay() {
-        let model = PholdModel::new(
-            topo(),
-            PhaseSchedule::constant(PholdParams::new(0.1, 0.01, 10_000)),
-        );
+        let model =
+            PholdModel::new(topo(), PhaseSchedule::constant(PholdParams::new(0.1, 0.01, 10_000)));
         let mut rng = Pcg32::new(2, 2);
         let mut state = PholdState::default();
         let mut emit = Emitter::new();
@@ -387,8 +374,7 @@ mod tests {
     #[test]
     fn single_node_remote_draws_fall_back_to_local() {
         let t = Topology { lps_per_worker: 4, workers_per_node: 2, nodes: 1 };
-        let model =
-            PholdModel::new(t, PhaseSchedule::constant(PholdParams::new(0.0, 1.0, 100)));
+        let model = PholdModel::new(t, PhaseSchedule::constant(PholdParams::new(0.0, 1.0, 100)));
         let mut rng = Pcg32::new(3, 3);
         for _ in 0..100 {
             let (dst, class) = model.draw_destination(LpId(0), &model.schedule.at(0.0), &mut rng);
@@ -399,10 +385,8 @@ mod tests {
 
     #[test]
     fn fingerprint_depends_on_history() {
-        let model = PholdModel::new(
-            topo(),
-            PhaseSchedule::constant(PholdParams::new(0.1, 0.01, 100)),
-        );
+        let model =
+            PholdModel::new(topo(), PhaseSchedule::constant(PholdParams::new(0.1, 0.01, 100)));
         let mut rng = Pcg32::new(4, 4);
         let mut a = PholdState::default();
         let mut emit = Emitter::new();
@@ -470,7 +454,12 @@ mod reverse_tests {
     fn reverse_handles_every_phase_of_a_mixed_schedule() {
         let m = PholdModel::new(
             Topology { lps_per_worker: 4, workers_per_node: 3, nodes: 2 },
-            PhaseSchedule::alternating(10.0, PholdParams::new(0.1, 0.01, 10_000), 15.0, PholdParams::new(0.9, 0.1, 5_000)),
+            PhaseSchedule::alternating(
+                10.0,
+                PholdParams::new(0.1, 0.01, 10_000),
+                15.0,
+                PholdParams::new(0.9, 0.1, 5_000),
+            ),
         );
         let mut rng = Pcg32::new(5, 5);
         let mut state = PholdState::default();

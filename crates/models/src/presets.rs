@@ -10,10 +10,12 @@ use cagvt_core::SimConfig;
 use crate::phold::{PhaseSchedule, PholdModel, PholdParams, Topology};
 
 /// The paper's computation-dominated parameter set.
-pub const COMP_PARAMS: PholdParams = PholdParams { regional_pct: 0.10, remote_pct: 0.01, epg: 10_000 };
+pub const COMP_PARAMS: PholdParams =
+    PholdParams { regional_pct: 0.10, remote_pct: 0.01, epg: 10_000 };
 
 /// The paper's communication-dominated parameter set.
-pub const COMM_PARAMS: PholdParams = PholdParams { regional_pct: 0.90, remote_pct: 0.10, epg: 5_000 };
+pub const COMM_PARAMS: PholdParams =
+    PholdParams { regional_pct: 0.90, remote_pct: 0.10, epg: 5_000 };
 
 /// A named workload: the model plus the GVT interval the paper uses for
 /// it.

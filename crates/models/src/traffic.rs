@@ -327,7 +327,9 @@ mod tests {
         m.handle(&ctx(0), &mut s, &TrafficEvent::Arrival, &mut rng, &mut emit);
         assert_eq!(s.total_queued(), 1);
         let out: Vec<_> = emit.take().collect();
-        assert!(out.iter().any(|(dst, _, p)| *dst == LpId(0) && matches!(p, TrafficEvent::Arrival)));
+        assert!(out
+            .iter()
+            .any(|(dst, _, p)| *dst == LpId(0) && matches!(p, TrafficEvent::Arrival)));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! charged by the caller — that is where the dedicated-vs-inline MPI thread
 //! distinction lives.
 
+use cagvt_base::fault::{FaultInjector, LinkShape};
 use cagvt_base::ids::NodeId;
 use cagvt_base::time::WallNs;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,29 +51,61 @@ impl CtrlMsg {
 
 /// Create the event plane and control plane sharing one set of NICs.
 pub fn fabric_pair<M: Send>(nodes: u16) -> (Arc<MpiFabric<M>>, Arc<CtrlPlane>) {
+    fabric_pair_faulted(nodes, None)
+}
+
+/// [`fabric_pair`] with a fault injector: every inter-node message (both
+/// planes) is shaped through [`FaultInjector::link`], so degraded links and
+/// drop/retransmit recovery apply to event and GVT control traffic alike.
+pub fn fabric_pair_faulted<M: Send>(
+    nodes: u16,
+    faults: Option<Arc<dyn FaultInjector>>,
+) -> (Arc<MpiFabric<M>>, Arc<CtrlPlane>) {
     let nics: Arc<Vec<Nic>> = Arc::new((0..nodes).map(|_| Nic::new()).collect());
     let fabric = Arc::new(MpiFabric {
         nodes,
         nics: Arc::clone(&nics),
         inboxes: (0..nodes).map(|_| Mailbox::new()).collect(),
         sent: AtomicU64::new(0),
+        faults: faults.clone(),
     });
     let ctrl = Arc::new(CtrlPlane {
         nodes,
         nics,
         inboxes: (0..nodes).map(|_| Mailbox::new()).collect(),
         sent: AtomicU64::new(0),
+        faults,
     });
     (fabric, ctrl)
 }
 
+/// Shape one wire transmission through the optional injector. The message
+/// always reaches its inbox — a drop is recovered by retransmit timeouts
+/// appended to the delivery instant — so send/receive conservation (the
+/// invariant Mattern's white-message count rests on) holds under faults.
+#[inline]
+fn shaped_send(
+    faults: &Option<Arc<dyn FaultInjector>>,
+    nic: &Nic,
+    from: NodeId,
+    to: NodeId,
+    now: WallNs,
+    cost: &CostModel,
+) -> WallNs {
+    let shape = match faults {
+        Some(f) => f.link(from, to, now, cost.wire_per_msg, cost.wire_latency),
+        None => LinkShape::clean(cost.wire_per_msg, cost.wire_latency),
+    };
+    nic.send(now, shape.per_msg, shape.latency) + shape.retransmit_delay
+}
+
 /// The event plane of the simulated interconnect.
-#[derive(Debug)]
 pub struct MpiFabric<M> {
     nodes: u16,
     nics: Arc<Vec<Nic>>,
     inboxes: Vec<Mailbox<M>>,
     sent: AtomicU64,
+    faults: Option<Arc<dyn FaultInjector>>,
 }
 
 impl<M: Send> MpiFabric<M> {
@@ -83,9 +116,16 @@ impl<M: Send> MpiFabric<M> {
 
     /// Transmit an event message. Returns the instant it becomes receivable
     /// at `to`. The caller charges itself the MPI software cost.
-    pub fn send_event(&self, from: NodeId, to: NodeId, now: WallNs, msg: M, cost: &CostModel) -> WallNs {
+    pub fn send_event(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        now: WallNs,
+        msg: M,
+        cost: &CostModel,
+    ) -> WallNs {
         debug_assert_ne!(from, to, "remote send to self");
-        let deliver_at = self.nics[from.index()].send(now, cost.wire_per_msg, cost.wire_latency);
+        let deliver_at = shaped_send(&self.faults, &self.nics[from.index()], from, to, now, cost);
         self.inboxes[to.index()].push(deliver_at, msg);
         self.sent.fetch_add(1, Ordering::Relaxed);
         deliver_at
@@ -117,12 +157,12 @@ impl<M: Send> MpiFabric<M> {
 }
 
 /// The GVT control plane: same NICs, separate inboxes.
-#[derive(Debug)]
 pub struct CtrlPlane {
     nodes: u16,
     nics: Arc<Vec<Nic>>,
     inboxes: Vec<Mailbox<CtrlMsg>>,
     sent: AtomicU64,
+    faults: Option<Arc<dyn FaultInjector>>,
 }
 
 impl CtrlPlane {
@@ -139,11 +179,18 @@ impl CtrlPlane {
 
     /// Transmit a control message. On a single-node cluster the ring
     /// degenerates to a self-loop with no wire cost.
-    pub fn send(&self, from: NodeId, to: NodeId, now: WallNs, msg: CtrlMsg, cost: &CostModel) -> WallNs {
+    pub fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        now: WallNs,
+        msg: CtrlMsg,
+        cost: &CostModel,
+    ) -> WallNs {
         let deliver_at = if from == to {
             now
         } else {
-            self.nics[from.index()].send(now, cost.wire_per_msg, cost.wire_latency)
+            shaped_send(&self.faults, &self.nics[from.index()], from, to, now, cost)
         };
         self.inboxes[to.index()].push(deliver_at, msg);
         self.sent.fetch_add(1, Ordering::Relaxed);
@@ -225,6 +272,46 @@ mod tests {
         assert_eq!(fab.event_inbox_len(NodeId(1)), 2);
         let _ = fab.recv_event(NodeId(1), WallNs(u64::MAX / 2));
         assert_eq!(fab.event_inbox_len(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn faulted_fabric_shapes_latency_and_retransmits() {
+        /// Triples wire latency on 0→1 and adds a fixed retransmit delay;
+        /// leaves the reverse direction clean.
+        struct DegradeForward;
+        impl FaultInjector for DegradeForward {
+            fn link(
+                &self,
+                from: NodeId,
+                to: NodeId,
+                _now: WallNs,
+                per_msg: WallNs,
+                latency: WallNs,
+            ) -> LinkShape {
+                if (from, to) == (NodeId(0), NodeId(1)) {
+                    LinkShape {
+                        per_msg,
+                        latency: WallNs(latency.0 * 3),
+                        retransmit_delay: WallNs(1_000_000),
+                    }
+                } else {
+                    LinkShape::clean(per_msg, latency)
+                }
+            }
+        }
+
+        let (fab, ctrl) = fabric_pair_faulted::<u32>(2, Some(Arc::new(DegradeForward)));
+        let fwd = fab.send_event(NodeId(0), NodeId(1), WallNs(0), 7, &cm());
+        assert_eq!(fwd.0, cm().wire_per_msg.0 + 3 * cm().wire_latency.0 + 1_000_000);
+        // Delayed, not lost: the message still arrives exactly once.
+        assert_eq!(fab.recv_event(NodeId(1), WallNs(fwd.0 - 1)), None);
+        assert_eq!(fab.recv_event(NodeId(1), fwd), Some(7));
+        // Reverse direction (node 1's own NIC) is clean.
+        let rev = fab.send_event(NodeId(1), NodeId(0), WallNs(0), 9, &cm());
+        assert_eq!(rev.0, cm().wire_per_msg.0 + cm().wire_latency.0);
+        // The control plane is shaped through the same injector.
+        let c = ctrl.send(NodeId(0), NodeId(1), fwd, CtrlMsg::new(0, 0, NodeId(0)), &cm());
+        assert!(c.0 >= fwd.0 + 3 * cm().wire_latency.0 + 1_000_000);
     }
 
     #[test]

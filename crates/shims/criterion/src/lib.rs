@@ -1,0 +1,157 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of criterion's API its benches use: benchmark
+//! groups, `bench_function`, `Bencher::iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical machinery it runs each benchmark `sample_size` times and
+//! prints the mean and minimum wall time — enough to eyeball regressions
+//! without the dependency.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; all variants behave identically in
+/// this shim (one setup per timed invocation, setup excluded from timing).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Times closures for one benchmark function.
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+    min: Duration,
+    timed: u64,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher { samples, total: Duration::ZERO, min: Duration::MAX, timed: 0 }
+    }
+
+    fn record(&mut self, d: Duration) {
+        self.total += d;
+        self.min = self.min.min(d);
+        self.timed += 1;
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.record(t0.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            self.record(t0.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmark functions.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let mean = if b.timed > 0 { b.total / b.timed as u32 } else { Duration::ZERO };
+        println!(
+            "{}/{}: mean {:?}, min {:?} over {} samples",
+            self.name, id, mean, b.min, b.timed
+        );
+        let _ = &self.criterion;
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function("iter", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+        let mut batched = 0;
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 5u64, |x| batched += x, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(batched, 15);
+    }
+}

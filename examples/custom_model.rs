@@ -50,7 +50,7 @@ impl Model for TokenRing {
         emit: &mut Emitter<u64>,
     ) {
         // One token starts at every fourth LP.
-        if lp.0 % 4 == 0 {
+        if lp.0.is_multiple_of(4) {
             emit.emit(lp, 0.01 + rng.next_exp(self.mean_hop), lp.0 as u64);
         }
     }
@@ -104,21 +104,18 @@ fn main() {
     println!("token ring: {} LPs, {} tokens\n", cfg.total_lps(), cfg.total_lps() / 4);
 
     // Reverse computation (the model supports it, so it is the default)...
-    let reverse = run_virtual(Arc::new(model), cfg, |shared| {
-        make_bundle(GvtKind::CA_DEFAULT, shared)
-    });
+    let reverse =
+        run_virtual(Arc::new(model), cfg, |shared| make_bundle(GvtKind::CA_DEFAULT, shared));
     // ...vs forced per-event snapshots...
     let mut snap_cfg = cfg;
     snap_cfg.force_snapshot = true;
-    let snapshot = run_virtual(Arc::new(model), snap_cfg, |shared| {
-        make_bundle(GvtKind::CA_DEFAULT, shared)
-    });
+    let snapshot =
+        run_virtual(Arc::new(model), snap_cfg, |shared| make_bundle(GvtKind::CA_DEFAULT, shared));
     // ...vs periodic state saving with coast-forward.
     let mut per_cfg = cfg;
     per_cfg.periodic_snapshot = Some(16);
-    let periodic = run_virtual(Arc::new(model), per_cfg, |shared| {
-        make_bundle(GvtKind::CA_DEFAULT, shared)
-    });
+    let periodic =
+        run_virtual(Arc::new(model), per_cfg, |shared| make_bundle(GvtKind::CA_DEFAULT, shared));
 
     for (name, r) in [("reverse", &reverse), ("snapshot", &snapshot), ("periodic(16)", &periodic)] {
         println!(
@@ -132,5 +129,8 @@ fn main() {
     assert_eq!(reverse.state_fingerprint, seq.fingerprint);
     assert_eq!(snapshot.state_fingerprint, seq.fingerprint);
     assert_eq!(periodic.state_fingerprint, seq.fingerprint);
-    println!("\nall three rollback strategies match the sequential reference ({} events)", seq.processed);
+    println!(
+        "\nall three rollback strategies match the sequential reference ({} events)",
+        seq.processed
+    );
 }

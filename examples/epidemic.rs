@@ -28,9 +28,8 @@ fn main() {
         model.population
     );
 
-    let report = run_virtual(Arc::new(model), cfg, |shared| {
-        make_bundle(GvtKind::CA_DEFAULT, shared)
-    });
+    let report =
+        run_virtual(Arc::new(model), cfg, |shared| make_bundle(GvtKind::CA_DEFAULT, shared));
     println!("{report}\n");
 
     let seq = SequentialSim::new(Arc::new(model), cfg).run();

@@ -43,5 +43,8 @@ fn main() {
     }
 
     let seq = SequentialSim::new(Arc::new(model), cfg).run();
-    println!("\nsequential reference: {} events (all runs above committed exactly this many)", seq.processed);
+    println!(
+        "\nsequential reference: {} events (all runs above committed exactly this many)",
+        seq.processed
+    );
 }

@@ -15,19 +15,24 @@ fn main() {
     cfg.lps_per_worker = 16;
     cfg.end_time = 30.0;
 
-    println!("PHOLD (computation-dominated), {} LPs on {} workers x {} nodes\n",
-        cfg.total_lps(), cfg.spec.workers_per_node, cfg.spec.nodes);
+    println!(
+        "PHOLD (computation-dominated), {} LPs on {} workers x {} nodes\n",
+        cfg.total_lps(),
+        cfg.spec.workers_per_node,
+        cfg.spec.nodes
+    );
 
     for kind in [GvtKind::Barrier, GvtKind::Mattern, GvtKind::Samadi, GvtKind::CA_DEFAULT] {
         let workload = comp_dominated(&cfg);
-        let report = run_virtual(Arc::new(workload.model), cfg, |shared| {
-            make_bundle(kind, shared)
-        });
+        let report = run_virtual(Arc::new(workload.model), cfg, |shared| make_bundle(kind, shared));
         println!("{report}\n");
     }
 
     // Ground truth: the sequential reference processes the same events.
     let workload = comp_dominated(&cfg);
     let seq = SequentialSim::new(Arc::new(workload.model), cfg).run();
-    println!("sequential reference: {} events — every run above committed exactly this many", seq.processed);
+    println!(
+        "sequential reference: {} events — every run above committed exactly this many",
+        seq.processed
+    );
 }

@@ -37,6 +37,7 @@
 //! | [`exec`] | deterministic virtual scheduler + real OS-thread runtime |
 //! | [`core`] | the Time Warp engine, GVT interface, sequential reference |
 //! | [`gvt`] | Barrier, Mattern and CA-GVT algorithms |
+//! | [`fault`] | deterministic fault plans: stragglers, link degradation, drops |
 //! | [`models`] | modified PHOLD, epidemic (SIR), PCS cellular models |
 //!
 //! See `DESIGN.md` for the system inventory and the experiment index, and
@@ -45,18 +46,22 @@
 pub use cagvt_base as base;
 pub use cagvt_core as core;
 pub use cagvt_exec as exec;
+pub use cagvt_fault as fault;
 pub use cagvt_gvt as gvt;
 pub use cagvt_models as models;
 pub use cagvt_net as net;
 
 /// The commonly-needed imports in one place.
 pub mod prelude {
-    pub use cagvt_base::{Actor, LpId, VirtualTime, WallNs};
-    pub use cagvt_core::cluster::{build_cluster, build_shared, run_virtual, run_virtual_with};
+    pub use cagvt_base::{Actor, FaultInjector, FaultStats, LpId, NoFaults, VirtualTime, WallNs};
+    pub use cagvt_core::cluster::{
+        build_cluster, build_shared, build_shared_faulted, run_virtual, run_virtual_with,
+    };
     pub use cagvt_core::model::{Emitter, EventCtx, Model};
     pub use cagvt_core::seq::SequentialSim;
     pub use cagvt_core::{RunReport, SimConfig};
     pub use cagvt_exec::{ThreadConfig, ThreadRuntime, VirtualConfig, VirtualScheduler};
+    pub use cagvt_fault::{FaultPlan, FaultRuntime, FaultSpec, FaultTopology, Perturbation};
     pub use cagvt_gvt::{make_bundle, GvtKind};
     pub use cagvt_models::presets::{comm_dominated, comp_dominated, mixed_model};
     pub use cagvt_models::{CqnModel, EpidemicModel, PcsModel, PholdModel, TrafficModel};

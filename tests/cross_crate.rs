@@ -169,8 +169,9 @@ fn gvt_interval_changes_round_count_not_results() {
         cfg.gvt_interval = interval;
         cfg.max_outstanding = 1024;
         let workload = comp_dominated(&cfg);
-        let report =
-            run_virtual(Arc::new(workload.model), cfg, |shared| make_bundle(GvtKind::Mattern, shared));
+        let report = run_virtual(Arc::new(workload.model), cfg, |shared| {
+            make_bundle(GvtKind::Mattern, shared)
+        });
         if let Some((committed, fp)) = last {
             assert_eq!(report.committed, committed);
             assert_eq!(report.state_fingerprint, fp);
@@ -213,9 +214,7 @@ fn reverse_computation_matches_snapshot_rollback_exactly() {
         let mut cfg = cfg;
         cfg.force_snapshot = force_snapshot;
         let workload = comm_dominated(&cfg); // rollback-heavy
-        run_virtual(Arc::new(workload.model), cfg, |shared| {
-            make_bundle(GvtKind::Mattern, shared)
-        })
+        run_virtual(Arc::new(workload.model), cfg, |shared| make_bundle(GvtKind::Mattern, shared))
     };
     let reverse = run(false);
     let snapshot = run(true);
@@ -244,9 +243,7 @@ fn periodic_snapshot_strategy_matches_other_strategies_exactly() {
         cfg.periodic_snapshot = periodic;
         cfg.force_snapshot = force_snapshot;
         let workload = comm_dominated(&cfg); // rollback-heavy
-        run_virtual(Arc::new(workload.model), cfg, |shared| {
-            make_bundle(GvtKind::Mattern, shared)
-        })
+        run_virtual(Arc::new(workload.model), cfg, |shared| make_bundle(GvtKind::Mattern, shared))
     };
     let reverse = run(None, false);
     let snapshot = run(None, true);

@@ -1,7 +1,8 @@
-//! Property-based tests: random workload parameterizations, topologies
-//! and algorithm settings must always preserve the engine's core
-//! invariants — sequential equivalence, event conservation, GVT
-//! monotonicity (asserted inside the engine), and determinism.
+//! Property-based tests: random workload parameterizations, topologies,
+//! algorithm settings and fault plans must always preserve the engine's
+//! core invariants — sequential equivalence, event conservation, GVT
+//! monotonicity, rollback staying above the published GVT (asserted
+//! inside the engine), and determinism.
 
 use cagvt::prelude::*;
 use cagvt_models::phold::{PhaseSchedule, PholdModel, PholdParams, Topology};
@@ -67,6 +68,73 @@ proptest! {
         let seq = SequentialSim::new(Arc::new(model), cfg).run();
         prop_assert_eq!(report.committed, seq.processed);
         prop_assert_eq!(report.state_fingerprint, seq.fingerprint);
+    }
+
+    /// Random fault plans never change what commits, identical
+    /// `(seed, config, plan)` runs are bit-identical, GVT only advances,
+    /// and no rollback targets a time below the published GVT (the latter
+    /// is asserted unconditionally inside the worker, so merely completing
+    /// the faulted run exercises it).
+    #[test]
+    fn random_fault_plans_preserve_invariants(
+        kind in arb_kind(),
+        severity in 0.1f64..1.0,
+        fault_seed in any::<u32>(),
+        seed in any::<u32>(),
+    ) {
+        let mut cfg = SimConfig::small(2, 2);
+        cfg.lps_per_worker = 4;
+        cfg.end_time = 10.0;
+        cfg.seed = seed as u64 | 0xFA_0000_0000;
+
+        let model = phold_for(&cfg, 0.2, 0.1, 2_000);
+        // Anchor windows on the clean makespan so the plan overlaps the run.
+        let clean = run_virtual(Arc::new(model.clone()), cfg, |shared| make_bundle(kind, shared));
+        let span = WallNs(((clean.sim_seconds * 1e9) as u64).max(1_000_000));
+        let topology = FaultTopology::from(&cfg.spec);
+        let spec = FaultSpec::new(severity, fault_seed as u64, span);
+        let plan = FaultPlan::generate(&topology, &spec);
+        prop_assert!(!plan.is_empty());
+
+        let run = || {
+            let rt = Arc::new(FaultRuntime::new(topology, &plan, spec.seed));
+            let shared = build_shared_faulted(
+                Arc::new(model.clone()),
+                cfg,
+                Some(rt.clone() as Arc<dyn FaultInjector>),
+            );
+            let bundle = make_bundle(kind, &shared);
+            let (actors, handles) =
+                cagvt::core::cluster::build_cluster(Arc::clone(&shared), &*bundle);
+            let vcfg = VirtualConfig {
+                faults: Some(rt as Arc<dyn FaultInjector>),
+                ..Default::default()
+            };
+            let stats = VirtualScheduler::new(vcfg).run(actors);
+            let report =
+                cagvt::core::RunReport::assemble(bundle.name(), &handles.shared, stats);
+            let samples = handles.shared.stats.progress.lock().clone();
+            (report, samples)
+        };
+        let (a, gvt_samples) = run();
+        let (b, _) = run();
+
+        // Faults never change simulation results.
+        a.check_conservation(cfg.end_vt());
+        prop_assert_eq!(a.committed, clean.committed);
+        prop_assert_eq!(a.state_fingerprint, clean.state_fingerprint);
+
+        // Identical plan + config => bit-identical run.
+        prop_assert_eq!(a.committed, b.committed);
+        prop_assert_eq!(a.state_fingerprint, b.state_fingerprint);
+        prop_assert_eq!(a.sched_steps, b.sched_steps);
+        prop_assert_eq!(a.sim_seconds, b.sim_seconds);
+        prop_assert_eq!(a.faults, b.faults);
+
+        // GVT only ever advances.
+        for w in gvt_samples.windows(2) {
+            prop_assert!(w[1].gvt >= w[0].gvt, "GVT regressed: {} -> {}", w[0].gvt, w[1].gvt);
+        }
     }
 
     /// Identical configurations are bit-identical (virtual determinism),
