@@ -15,6 +15,8 @@
 //!   paper's efficiency / LVT-disparity metrics.
 //! * [`Actor`] — the unit of execution both runtimes (virtual scheduler and
 //!   OS threads) know how to drive.
+//! * [`trace`] — the [`TraceSink`] observation hook and typed record
+//!   vocabulary (the ring recorder and exporters live in `cagvt-trace`).
 
 pub mod actor;
 pub mod fault;
@@ -22,6 +24,7 @@ pub mod ids;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use actor::{Actor, StepOutcome, StepResult};
 pub use fault::{FaultInjector, FaultStats, LinkShape, NoFaults};
@@ -29,3 +32,4 @@ pub use ids::{ActorId, EventId, LaneId, LpId, NodeId};
 pub use rng::{Pcg32, SplitMix64};
 pub use stats::Welford;
 pub use time::{VirtualTime, WallNs};
+pub use trace::{GvtPhaseKind, NullTrace, StderrSink, TraceRecord, TraceSink, Track};

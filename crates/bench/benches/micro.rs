@@ -5,14 +5,17 @@
 use cagvt_base::ids::{EventId, LpId};
 use cagvt_base::rng::Pcg32;
 use cagvt_base::time::{VirtualTime, WallNs};
-use cagvt_bench::{base_config, run_one, Scale};
+use cagvt_base::NullTrace;
+use cagvt_bench::{base_config, run_one, run_one_traced, Scale};
 use cagvt_core::event::Event;
 use cagvt_core::queue::PendingSet;
 use cagvt_gvt::GvtKind;
 use cagvt_models::phold::{PhaseSchedule, PholdModel, PholdParams, Topology};
 use cagvt_models::presets::Workload;
 use cagvt_net::{Mailbox, MpiMode};
+use cagvt_trace::TraceRecorder;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
 
 fn ev(t: f64, seq: u64) -> Event<u32> {
     Event {
@@ -140,5 +143,35 @@ fn rollback_strategies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pending_set, rng_and_mailbox, epg_sweep, rollback_strategies);
+/// Cost of the tracing hook when no one is listening: the same run with no
+/// sink installed, with the disabled [`NullTrace`] sink (one `enabled()`
+/// branch per hook), and with the full ring-buffer recorder. The first two
+/// must be within noise of each other — that is the subsystem's
+/// zero-overhead contract.
+fn trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    let scale = Scale::bench();
+    let run = |trace: Option<Arc<dyn cagvt_base::TraceSink>>| {
+        let cfg = base_config(2, MpiMode::Dedicated, 25, &scale);
+        let workload = cagvt_models::presets::comm_dominated(&cfg);
+        match trace {
+            None => run_one(cagvt_gvt::GvtKind::Mattern, &workload, cfg),
+            Some(t) => run_one_traced(cagvt_gvt::GvtKind::Mattern, &workload, cfg, t),
+        }
+    };
+    group.bench_function("no_sink", |b| b.iter(|| run(None)));
+    group.bench_function("null_sink", |b| b.iter(|| run(Some(Arc::new(NullTrace)))));
+    group.bench_function("ring_recorder", |b| b.iter(|| run(Some(TraceRecorder::new()))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    pending_set,
+    rng_and_mailbox,
+    epg_sweep,
+    rollback_strategies,
+    trace_overhead
+);
 criterion_main!(benches);

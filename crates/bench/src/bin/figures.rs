@@ -73,7 +73,11 @@ fn find_mode(name: &str) -> Option<&'static Mode> {
 }
 
 fn mode_list() -> String {
-    MODES.iter().map(|m| m.name).collect::<Vec<_>>().join(" ")
+    let mut names: Vec<&str> = MODES.iter().map(|m| m.name).collect();
+    // `trace` needs the output directory, so it dispatches outside the
+    // MODES table (see main) but is a first-class mode to the user.
+    names.push("trace");
+    names.join(" ")
 }
 
 fn main() {
@@ -130,12 +134,18 @@ fn main() {
     println!("{}", Row::csv_header());
     for name in &selected {
         let t0 = std::time::Instant::now();
-        let Some(mode) = find_mode(name) else {
-            eprintln!("unknown experiment: {name}");
-            eprintln!("available modes: all {}", mode_list());
-            std::process::exit(2);
+        let rows = if name == "trace" {
+            // Dispatched outside the MODES table: the exporters write
+            // per-algorithm Chrome traces and the horizon CSV to --out.
+            cagvt_bench::trace_experiment(&scale, out_dir.as_deref().map(std::path::Path::new))
+        } else {
+            let Some(mode) = find_mode(name) else {
+                eprintln!("unknown experiment: {name}");
+                eprintln!("available modes: all {}", mode_list());
+                std::process::exit(2);
+            };
+            (mode.run)(&scale)
         };
-        let rows = (mode.run)(&scale);
         for row in &rows {
             println!("{}", row.csv());
         }

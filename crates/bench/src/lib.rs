@@ -16,7 +16,7 @@
 
 pub mod summary;
 
-use cagvt_base::{FaultInjector, WallNs};
+use cagvt_base::{FaultInjector, TraceSink, WallNs};
 use cagvt_core::cluster::run_virtual_with;
 use cagvt_core::{RunReport, SimConfig};
 use cagvt_exec::VirtualConfig;
@@ -25,6 +25,7 @@ use cagvt_gvt::{make_bundle, GvtKind};
 use cagvt_models::phold::{PhaseSchedule, PholdModel, PholdParams};
 use cagvt_models::presets::{comm_dominated, comp_dominated, mixed_model, Workload};
 use cagvt_net::MpiMode;
+use cagvt_trace::{chrome_trace, csv_trace, HorizonStats, TraceMeta, TraceRecorder};
 use std::sync::Arc;
 
 /// Run geometry knobs.
@@ -100,6 +101,19 @@ pub fn run_one_faulted(
     run_virtual_with(model, cfg, vcfg, |shared| make_bundle(kind, shared))
 }
 
+/// [`run_one`] with a trace sink observing every instrumented layer
+/// (workers, GVT algorithms, the MPI fabric and the scheduler).
+pub fn run_one_traced(
+    kind: GvtKind,
+    workload: &Workload,
+    cfg: SimConfig,
+    trace: Arc<dyn TraceSink>,
+) -> RunReport {
+    let model = Arc::new(workload.model.clone());
+    let vcfg = VirtualConfig { trace: Some(trace), ..scheduler_valves() };
+    run_virtual_with(model, cfg, vcfg, |shared| make_bundle(kind, shared))
+}
+
 /// One data point of a figure.
 #[derive(Clone, Debug)]
 pub struct Row {
@@ -113,13 +127,15 @@ impl Row {
     pub fn csv_header() -> &'static str {
         "figure,series,nodes,steady_rate,committed_rate,efficiency,committed,rollbacks,rolled_back,\
          gvt_rounds,gvt_time_mean,lvt_disparity,sync_rounds,async_rounds,sim_seconds,\
-         dropped_msgs,retransmits,straggled_steps,stalled_pumps"
+         dropped_msgs,retransmits,straggled_steps,stalled_pumps,\
+         horizon_width,barrier_wait_ns,rollback_cascade"
     }
 
     pub fn csv(&self) -> String {
         let r = &self.report;
         format!(
-            "{},{},{},{:.1},{:.1},{:.4},{},{},{},{},{:.6},{:.4},{},{},{:.6},{},{},{},{}",
+            "{},{},{},{:.1},{:.1},{:.4},{},{},{},{},{:.6},{:.4},{},{},{:.6},{},{},{},{},\
+             {:.4},{:.0},{}",
             self.figure,
             self.series,
             self.nodes,
@@ -139,6 +155,9 @@ impl Row {
             r.faults.retransmits,
             r.faults.straggled_steps,
             r.faults.stalled_pumps,
+            r.horizon_width,
+            r.barrier_wait_ns,
+            r.rollback_cascade,
         )
     }
 }
@@ -456,6 +475,56 @@ pub fn fault_sweep(scale: &Scale) -> Vec<Row> {
                 report,
             });
         }
+    }
+    rows
+}
+
+/// `figures trace`: COMM-PHOLD on 4 virtual nodes under each of the three
+/// GVT algorithms with a ring-buffer recorder attached. Per algorithm this
+/// writes a Perfetto-loadable Chrome trace (`trace-<algo>.json`) and a tidy
+/// record CSV (`trace-records-<algo>.csv`); a combined
+/// `trace-horizon.csv` carries the per-round virtual-time-horizon series
+/// (width, roughness, utilization) with an `algorithm` column so the three
+/// algorithms' horizon behaviour can be compared directly.
+pub fn trace_experiment(scale: &Scale, out_dir: Option<&std::path::Path>) -> Vec<Row> {
+    let nodes = 4u16;
+    let mut rows = Vec::new();
+    let mut horizon =
+        String::from("algorithm,round,t_ns,gvt,mean_lvt,width,roughness,utilization,samples\n");
+    for &(kind, mode, series) in &THREE_ALGORITHMS {
+        let cfg = base_config(nodes, mode, 25, scale);
+        let workload = comm_dominated(&cfg);
+        let recorder = TraceRecorder::new();
+        let report = run_one_traced(kind, &workload, cfg, recorder.clone());
+        let events = recorder.snapshot();
+        let stats = HorizonStats::compute(&events);
+        eprintln!(
+            "# trace {series}: {} records ({} dropped), {} horizon rounds, \
+             mean width {:.3}, mean utilization {:.3}",
+            recorder.recorded(),
+            recorder.dropped(),
+            stats.rounds.len(),
+            stats.mean_width,
+            stats.mean_utilization,
+        );
+        for r in &stats.rounds {
+            let util = r.utilization.map(|u| format!("{u:.6}")).unwrap_or_default();
+            horizon.push_str(&format!(
+                "{series},{},{},{},{},{},{},{},{}\n",
+                r.round, r.t_ns, r.gvt, r.mean_lvt, r.width, r.roughness, util, r.samples
+            ));
+        }
+        if let Some(dir) = out_dir {
+            let meta = TraceMeta { nodes, workers_per_node: cfg.spec.workers_per_node };
+            std::fs::write(dir.join(format!("trace-{series}.json")), chrome_trace(&meta, &events))
+                .expect("write chrome trace");
+            std::fs::write(dir.join(format!("trace-records-{series}.csv")), csv_trace(&events))
+                .expect("write trace record csv");
+        }
+        rows.push(Row { figure: "trace", series: series.to_string(), nodes, report });
+    }
+    if let Some(dir) = out_dir {
+        std::fs::write(dir.join("trace-horizon.csv"), horizon).expect("write horizon csv");
     }
     rows
 }

@@ -4,8 +4,9 @@ use cagvt_base::actor::Actor;
 use cagvt_base::fault::FaultInjector;
 use cagvt_base::ids::{ActorId, EventId, LaneId, LpId, NodeId};
 use cagvt_base::time::VirtualTime;
+use cagvt_base::trace::TraceSink;
 use cagvt_exec::{VirtualConfig, VirtualScheduler};
-use cagvt_net::{fabric_pair_faulted, MpiMode};
+use cagvt_net::{fabric_pair_traced, MpiMode};
 use std::sync::Arc;
 
 use crate::config::SimConfig;
@@ -40,12 +41,31 @@ pub fn build_shared_faulted<M: Model>(
     cfg: SimConfig,
     faults: Option<Arc<dyn FaultInjector>>,
 ) -> Arc<EngineShared<M>> {
+    build_shared_traced(model, cfg, faults, None)
+}
+
+/// [`build_shared_faulted`] with a trace sink installed on every
+/// instrumented layer (workers and GVT algorithms via `GvtSharedCore`, the
+/// event fabric's inbox sampling). When `trace` is `None` the
+/// `CAGVT_TRACE` environment variable can still enable a filtered stderr
+/// sink (`<lp>:<seq>` for one event's lifecycle, `all` for everything).
+pub fn build_shared_traced<M: Model>(
+    model: Arc<M>,
+    cfg: SimConfig,
+    faults: Option<Arc<dyn FaultInjector>>,
+    trace: Option<Arc<dyn TraceSink>>,
+) -> Arc<EngineShared<M>> {
     cfg.validate();
+    let trace = trace.or_else(cagvt_base::trace::env_sink);
     let spec = cfg.spec;
     let stats = Arc::new(SharedStats::new(spec.total_workers()));
-    let gvt_core =
-        Arc::new(GvtSharedCore::new(Arc::clone(&stats), spec.nodes, spec.workers_per_node));
-    let (fabric, ctrl) = fabric_pair_faulted(spec.nodes, faults.clone());
+    let gvt_core = Arc::new(GvtSharedCore::with_trace(
+        Arc::clone(&stats),
+        spec.nodes,
+        spec.workers_per_node,
+        trace.clone(),
+    ));
+    let (fabric, ctrl) = fabric_pair_traced(spec.nodes, faults.clone(), trace);
     let nodes = (0..spec.nodes)
         .map(|n| Arc::new(NodeShared::new(NodeId(n), spec.workers_per_node)))
         .collect();
@@ -195,8 +215,9 @@ pub fn run_virtual_with<M: Model>(
     make_bundle: impl FnOnce(&Arc<EngineShared<M>>) -> Box<dyn GvtBundle>,
 ) -> RunReport {
     // The injector set on the scheduler config also drives the fabric and
-    // MPI pumps, so one `vcfg.faults` perturbs every layer consistently.
-    let shared = build_shared_faulted(model, cfg, vcfg.faults.clone());
+    // MPI pumps, so one `vcfg.faults` perturbs every layer consistently;
+    // likewise one `vcfg.trace` observes every layer.
+    let shared = build_shared_traced(model, cfg, vcfg.faults.clone(), vcfg.trace.clone());
     let bundle = make_bundle(&shared);
     let (actors, handles) = build_cluster(Arc::clone(&shared), &*bundle);
     let stats = VirtualScheduler::new(vcfg).run(actors);

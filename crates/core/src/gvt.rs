@@ -23,6 +23,7 @@
 
 use cagvt_base::ids::{LaneId, NodeId};
 use cagvt_base::time::{VirtualTime, WallNs};
+use cagvt_base::trace::{TraceRecord, TraceSink};
 use cagvt_net::MsgClass;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -50,6 +51,9 @@ pub struct GvtSharedCore {
     /// Cluster statistics (efficiency for CA-GVT decisions, disparity
     /// sampling).
     pub stats: Arc<SharedStats>,
+    /// Observation hook shared by every instrumented layer (`None`: no
+    /// tracing; hot paths pay a single `Option` check).
+    pub trace: Option<Arc<dyn TraceSink>>,
     pub total_workers: u32,
     pub nodes: u16,
     pub workers_per_node: u16,
@@ -57,6 +61,15 @@ pub struct GvtSharedCore {
 
 impl GvtSharedCore {
     pub fn new(stats: Arc<SharedStats>, nodes: u16, workers_per_node: u16) -> Self {
+        Self::with_trace(stats, nodes, workers_per_node, None)
+    }
+
+    pub fn with_trace(
+        stats: Arc<SharedStats>,
+        nodes: u16,
+        workers_per_node: u16,
+        trace: Option<Arc<dyn TraceSink>>,
+    ) -> Self {
         GvtSharedCore {
             round_requested: AtomicBool::new(false),
             published_gvt: AtomicU64::new(VirtualTime::ZERO.to_ordered_bits()),
@@ -65,9 +78,32 @@ impl GvtSharedCore {
             last_round_wall: AtomicU64::new(0),
             mpi_queue_depth: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             stats,
+            trace,
             total_workers: nodes as u32 * workers_per_node as u32,
             nodes,
             workers_per_node,
+        }
+    }
+
+    /// Record one trace observation. The record is constructed lazily, so
+    /// with no sink (or a disabled one) the cost is a branch or a branch
+    /// plus one virtual call.
+    #[inline]
+    pub fn emit(&self, t: WallNs, rec: impl FnOnce() -> TraceRecord) {
+        if let Some(tr) = &self.trace {
+            if tr.enabled() {
+                tr.record(t, &rec());
+            }
+        }
+    }
+
+    /// Whether an enabled trace sink is installed (lets call sites batch
+    /// several records without re-checking).
+    #[inline]
+    pub fn tracing(&self) -> Option<&dyn TraceSink> {
+        match &self.trace {
+            Some(tr) if tr.enabled() => Some(&**tr),
+            _ => None,
         }
     }
 

@@ -107,8 +107,17 @@ impl<M: Model> MpiPump<M> {
 
         // Outbound: node outbox -> fabric.
         self.nshared.note_outbox_depth();
+        let depth = self.nshared.outbox.len() as u64;
         self.shared.gvt_core.mpi_queue_depth[self.node.index()]
-            .store(self.nshared.outbox.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            .store(depth, std::sync::atomic::Ordering::Relaxed);
+        {
+            let node = self.node.0;
+            self.shared.gvt_core.emit(now, || cagvt_base::trace::TraceRecord::MpiQueue {
+                node,
+                depth,
+                inbound: false,
+            });
+        }
         let mut moved = 0u64;
         if self.handle_outbox {
             let mut out_buf = std::mem::take(&mut self.out_buf);

@@ -54,6 +54,15 @@ pub struct RunReport {
     /// Average over rounds of the std-dev of worker LVTs (the paper's
     /// disparity metric).
     pub lvt_disparity: f64,
+    /// Average over rounds of the virtual-time-horizon width (max − min
+    /// finite worker LVT, the Kolakowska–Novotny statistic).
+    pub horizon_width: f64,
+    /// Mean per-worker wall time spent blocked inside GVT barriers
+    /// (nanoseconds; zero for fully asynchronous algorithms).
+    pub barrier_wait_ns: f64,
+    /// Deepest rollback cascade any worker observed (rollback episodes
+    /// triggered within one local anti-message drain).
+    pub rollback_cascade: u64,
     /// CA-GVT: how many rounds ran synchronously / asynchronously.
     pub sync_rounds: u64,
     pub async_rounds: u64,
@@ -155,6 +164,9 @@ impl RunReport {
             window_rounds,
             gvt_time_mean: w.gvt_time.as_secs_f64() / total_workers,
             lvt_disparity: stats.disparity.lock().mean(),
+            horizon_width: stats.horizon_width.lock().mean(),
+            barrier_wait_ns: w.barrier_wait.0 as f64 / total_workers,
+            rollback_cascade: w.max_cascade,
             sync_rounds,
             async_rounds,
             sent_local: w.sent_local,
@@ -178,12 +190,13 @@ impl RunReport {
         "algorithm,nodes,workers,mpi_mode,committed,processed,rolled_back,rollbacks,\
          efficiency,sim_seconds,committed_rate,gvt_rounds,gvt_time_mean,lvt_disparity,\
          sync_rounds,async_rounds,sent_regional,sent_remote,final_gvt,completed,\
-         dropped_msgs,retransmits,straggled_steps,stalled_pumps"
+         dropped_msgs,retransmits,straggled_steps,stalled_pumps,\
+         horizon_width,barrier_wait_ns,rollback_cascade"
     }
 
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{:.4},{:.6},{:.1},{},{:.6},{:.4},{},{},{},{},{:.3},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{:.4},{:.6},{:.1},{},{:.6},{:.4},{},{},{},{},{:.3},{},{},{},{},{},{:.4},{:.0},{}",
             self.algorithm,
             self.nodes,
             self.workers_per_node,
@@ -208,6 +221,9 @@ impl RunReport {
             self.faults.retransmits,
             self.faults.straggled_steps,
             self.faults.stalled_pumps,
+            self.horizon_width,
+            self.barrier_wait_ns,
+            self.rollback_cascade,
         )
     }
 
@@ -261,6 +277,11 @@ impl fmt::Display for RunReport {
             self.gvt_time_mean,
             self.lvt_disparity
         )?;
+        writeln!(
+            f,
+            "  horizon width {:.4}, barrier wait {:.0} ns/worker, deepest cascade {}",
+            self.horizon_width, self.barrier_wait_ns, self.rollback_cascade
+        )?;
         write!(
             f,
             "  msgs: local {}, regional {}, remote {} (mpi moved {}/{})",
@@ -296,6 +317,9 @@ mod tests {
             window_rounds: 3,
             gvt_time_mean: 0.01,
             lvt_disparity: 0.1,
+            horizon_width: 0.5,
+            barrier_wait_ns: 1_000.0,
+            rollback_cascade: 2,
             sync_rounds: 0,
             async_rounds: 5,
             sent_local: 50,

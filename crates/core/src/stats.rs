@@ -47,6 +47,12 @@ pub struct WorkerCounters {
     /// Round requests issued while unable to make progress (throttled,
     /// drained, or past the end time).
     pub requests_idle: u64,
+    /// Wall time spent blocked inside GVT synchronization barriers (a
+    /// subset of `gvt_time`; zero for fully asynchronous rounds).
+    pub barrier_wait: WallNs,
+    /// Deepest rollback cascade observed: the most rollback episodes
+    /// triggered within one local anti-message drain.
+    pub max_cascade: u64,
 }
 
 impl WorkerCounters {
@@ -72,6 +78,8 @@ impl WorkerCounters {
         self.throttled += o.throttled;
         self.requests_interval += o.requests_interval;
         self.requests_idle += o.requests_idle;
+        self.barrier_wait += o.barrier_wait;
+        self.max_cascade = self.max_cascade.max(o.max_cascade);
     }
 }
 
@@ -136,6 +144,9 @@ pub struct SharedStats {
     pub worker_contrib: Vec<AtomicU64>,
     /// Std-dev of worker LVTs, one sample per GVT round.
     pub disparity: Mutex<Welford>,
+    /// Virtual-time-horizon width (max − min finite worker LVT), one
+    /// sample per GVT round — the Kolakowska–Novotny width statistic.
+    pub horizon_width: Mutex<Welford>,
     /// Final per-worker counters, deposited at shutdown.
     pub worker_deposits: Mutex<Vec<WorkerCounters>>,
     /// Final per-pump counters.
@@ -165,6 +176,7 @@ impl SharedStats {
                 .map(|_| AtomicU64::new(VirtualTime::ZERO.to_ordered_bits()))
                 .collect(),
             disparity: Mutex::new(Welford::new()),
+            horizon_width: Mutex::new(Welford::new()),
             worker_deposits: Mutex::new(Vec::new()),
             mpi_deposits: Mutex::new(Vec::new()),
             gvt_trace: Mutex::new(Vec::new()),
@@ -186,16 +198,22 @@ impl SharedStats {
     }
 
     /// Sample the published worker LVTs and record the round's disparity
-    /// (population std-dev), as in the paper's §4 metric.
+    /// (population std-dev, the paper's §4 metric) and horizon width
+    /// (max − min, Kolakowska–Novotny).
     pub fn sample_disparity(&self) {
         let mut w = Welford::new();
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
         for lvt in &self.worker_lvts {
             let t = VirtualTime::from_ordered_bits(lvt.load(Ordering::Relaxed));
             if t.is_finite() {
-                w.push(t.as_f64());
+                let t = t.as_f64();
+                w.push(t);
+                min = min.min(t);
+                max = max.max(t);
             }
         }
         self.disparity.lock().push(w.std_dev());
+        self.horizon_width.lock().push(if max >= min { max - min } else { 0.0 });
     }
 }
 
@@ -242,6 +260,10 @@ mod tests {
         assert_eq!(d.count(), 1);
         // mean 4, deviations [-2,0,0,2] -> variance 2 -> std ~1.414
         assert!((d.mean() - 2.0_f64.sqrt()).abs() < 1e-12);
+        // Horizon width of {2,4,4,6} is 4.
+        let h = s.horizon_width.lock();
+        assert_eq!(h.count(), 1);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use cagvt_base::actor::{Actor, StepResult};
 use cagvt_base::ids::{ActorId, EventId, LaneId, LpId, NodeId};
 use cagvt_base::time::{VirtualTime, WallNs};
+use cagvt_base::trace::TraceRecord;
 use cagvt_net::{MpiMode, MsgClass};
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
@@ -55,30 +56,12 @@ pub struct Worker<M: Model> {
     emit: Emitter<M::Payload>,
     local_antis: VecDeque<AntiMsg>,
     last_idle_request: WallNs,
+    /// Start of the current contiguous barrier-blocked stretch, if any
+    /// (one `BarrierWait` record and counter update on release).
+    blocked_since: Option<WallNs>,
     /// The GVT algorithm requires acknowledgement traffic (Samadi).
     acks_enabled: bool,
     finished: bool,
-}
-
-/// Debug tracing for a single event id: set `CAGVT_TRACE=<lp>:<seq>` to
-/// log every engine action touching that id.
-fn trace_target() -> Option<(u32, u64)> {
-    static TARGET: std::sync::OnceLock<Option<(u32, u64)>> = std::sync::OnceLock::new();
-    *TARGET.get_or_init(|| {
-        let v = std::env::var("CAGVT_TRACE").ok()?;
-        let (a, b) = v.split_once(':')?;
-        Some((a.parse().ok()?, b.parse().ok()?))
-    })
-}
-
-macro_rules! trace_ev {
-    ($id:expr, $($arg:tt)*) => {
-        if let Some((lp, seq)) = trace_target() {
-            if $id.src.0 == lp && $id.seq == seq {
-                eprintln!($($arg)*);
-            }
-        }
-    };
 }
 
 impl<M: Model> Worker<M> {
@@ -117,6 +100,7 @@ impl<M: Model> Worker<M> {
             emit: Emitter::new(),
             local_antis: VecDeque::new(),
             last_idle_request: WallNs::ZERO,
+            blocked_since: None,
             acks_enabled,
             finished: false,
         }
@@ -144,28 +128,25 @@ impl<M: Model> Worker<M> {
     /// charge. Local deliveries are applied immediately.
     fn route(&mut self, now: WallNs, msg: EventMsg<M::Payload>) -> WallNs {
         let cost = &self.shared.cfg.cost;
-        match &msg {
-            EventMsg::Event(e) => trace_ev!(
-                e.id,
-                "[{}] w{} SEND event t={} dst={}",
-                now.0,
-                self.widx,
-                e.recv_time,
-                e.dst
-            ),
-            EventMsg::Anti(a) => trace_ev!(
-                a.id,
-                "[{}] w{} SEND anti t={} dst={}",
-                now.0,
-                self.widx,
-                a.recv_time,
-                a.dst
-            ),
-            EventMsg::Ack(_) => {}
-        }
         let dst = msg.dst();
         let (dst_node, dst_lane) = self.shared.locate(dst);
         let is_ack = matches!(msg, EventMsg::Ack(_));
+        if !is_ack {
+            let (id, vt, anti) = match &msg {
+                EventMsg::Event(e) => (e.id, e.recv_time, false),
+                EventMsg::Anti(a) => (a.id, a.recv_time, true),
+                EventMsg::Ack(_) => unreachable!(),
+            };
+            let (worker, remote) = (self.widx, dst_node != self.node);
+            self.shared.gvt_core.emit(now, || TraceRecord::MsgSend {
+                worker,
+                id,
+                dst,
+                vt,
+                anti,
+                remote,
+            });
+        }
         if dst_node == self.node && dst_lane == self.lane {
             // Local: never in flight, no tag, no channel.
             match msg {
@@ -232,7 +213,7 @@ impl<M: Model> Worker<M> {
     }
 
     /// Apply a rollback result: account, re-enqueue, send anti-messages.
-    fn apply_rollback(&mut self, now: WallNs, rb: Rollback<M::Payload>) -> WallNs {
+    fn apply_rollback(&mut self, now: WallNs, rb: Rollback<M::Payload>, straggler: bool) -> WallNs {
         let cost = &self.shared.cfg.cost;
         let mut charge = WallNs::ZERO;
         if rb.undone == 0 {
@@ -242,9 +223,12 @@ impl<M: Model> Worker<M> {
         self.counters.rolled_back += rb.undone;
         self.uncommitted -= rb.undone as usize;
         self.shared.stats.rolled_back.fetch_add(rb.undone, Ordering::Relaxed);
+        let (worker, undone) = (self.widx, rb.undone);
+        self.shared.gvt_core.emit(now, || TraceRecord::Rollback { worker, undone, straggler });
         charge += WallNs(cost.rollback_per_event.0 * rb.undone);
         for e in rb.reenqueue {
-            trace_ev!(e.id, "[{}] w{} REENQ t={}", now.0, self.widx, e.recv_time);
+            let (id, vt) = (e.id, e.recv_time);
+            self.shared.gvt_core.emit(now, || TraceRecord::Reenqueue { worker, id, vt });
             if !self.pending.insert(e) {
                 self.counters.annihilated += 1;
             }
@@ -267,17 +251,12 @@ impl<M: Model> Worker<M> {
     /// target is re-sent.
     fn drain_local_antis(&mut self, now: WallNs) -> WallNs {
         let mut charge = WallNs::ZERO;
+        let mut cascade = 0u64;
+        let worker = self.widx;
         while let Some(a) = self.local_antis.pop_front() {
             self.counters.antis_received += 1;
             let idx = self.lp_index(a.dst);
             if self.lps[idx].has_processed(a.id) {
-                trace_ev!(
-                    a.id,
-                    "[{}] w{} ANTI->rollback_cancel t={}",
-                    now.0,
-                    self.widx,
-                    a.recv_time
-                );
                 // GVT safety: an anti-message can only cancel work that is
                 // still provisional. Rolling back below the published GVT
                 // would mean a GVT algorithm overshot (fossil-collected
@@ -288,33 +267,39 @@ impl<M: Model> Worker<M> {
                     "anti-message rollback target {} below published GVT {gvt_floor}",
                     a.recv_time
                 );
+                cascade += 1;
                 let rb = self.lps[idx].rollback_cancel(&*self.model, a.id, a.key());
                 self.counters.annihilated += 1;
-                charge += self.apply_rollback(now + charge, rb);
+                let id = a.id;
+                self.shared.gvt_core.emit(now + charge, || TraceRecord::Annihilate {
+                    worker,
+                    id,
+                    pending: false,
+                });
+                charge += self.apply_rollback(now + charge, rb, false);
             } else {
                 match self.pending.cancel(a.key()) {
                     CancelOutcome::AnnihilatedPending => {
-                        trace_ev!(
-                            a.id,
-                            "[{}] w{} ANTI->annihilate-pending t={}",
-                            now.0,
-                            self.widx,
-                            a.recv_time
-                        );
-                        self.counters.annihilated += 1
+                        self.counters.annihilated += 1;
+                        let id = a.id;
+                        self.shared.gvt_core.emit(now + charge, || TraceRecord::Annihilate {
+                            worker,
+                            id,
+                            pending: true,
+                        });
                     }
                     CancelOutcome::Deferred => {
-                        trace_ev!(
-                            a.id,
-                            "[{}] w{} ANTI->DEFERRED t={}",
-                            now.0,
-                            self.widx,
-                            a.recv_time
-                        );
+                        let (id, vt) = (a.id, a.recv_time);
+                        self.shared.gvt_core.emit(now + charge, || TraceRecord::AntiDeferred {
+                            worker,
+                            id,
+                            vt,
+                        });
                     }
                 }
             }
         }
+        self.counters.max_cascade = self.counters.max_cascade.max(cascade);
         charge
     }
 
@@ -356,15 +341,27 @@ impl<M: Model> Worker<M> {
                 };
                 charge += self.route(now + charge, EventMsg::Ack(ack));
             }
+            {
+                let worker = self.widx;
+                let (id, vt, anti) = match &tagged.msg {
+                    EventMsg::Event(e) => (e.id, e.recv_time, false),
+                    EventMsg::Anti(a) => (a.id, a.recv_time, true),
+                    EventMsg::Ack(_) => unreachable!(),
+                };
+                self.shared.gvt_core.emit(now + charge, || TraceRecord::MsgRecv {
+                    worker,
+                    id,
+                    vt,
+                    anti,
+                });
+            }
             match tagged.msg {
                 EventMsg::Event(e) => {
-                    trace_ev!(e.id, "[{}] w{} RECV event t={}", now.0, self.widx, e.recv_time);
                     if !self.pending.insert(e) {
                         self.counters.annihilated += 1;
                     }
                 }
                 EventMsg::Anti(a) => {
-                    trace_ev!(a.id, "[{}] w{} RECV anti t={}", now.0, self.widx, a.recv_time);
                     charge += self.handle_anti(now + charge, a);
                 }
                 EventMsg::Ack(_) => unreachable!(),
@@ -422,7 +419,7 @@ impl<M: Model> Worker<M> {
             );
             self.counters.stragglers += 1;
             let rb = self.lps[idx].rollback_to(&*self.model, event.key());
-            charge += self.apply_rollback(now, rb);
+            charge += self.apply_rollback(now, rb, true);
             charge += self.drain_local_antis(now + charge);
         }
 
@@ -432,10 +429,22 @@ impl<M: Model> Worker<M> {
             end_time: end,
             total_lps: cfg.total_lps(),
         };
-        trace_ev!(event.id, "[{}] w{} PROCESS t={}", now.0, self.widx, event.recv_time);
+        let (eid, edst) = (event.id, event.dst);
+        let span_start = now + charge;
         let mut emit = std::mem::take(&mut self.emit);
         let epg = self.lps[idx].process(&*self.model, &ctx, event, &mut emit);
-        charge += cost.event_overhead + cost.epg_cost(epg);
+        let span = cost.event_overhead + cost.epg_cost(epg);
+        {
+            let (worker, vt) = (self.widx, ctx.now);
+            self.shared.gvt_core.emit(span_start, || TraceRecord::EventSpan {
+                worker,
+                id: eid,
+                dst: edst,
+                vt,
+                dur: span,
+            });
+        }
+        charge += span;
 
         // Stamp, route and record the emissions.
         let base = ctx.now;
@@ -534,7 +543,18 @@ impl<M: Model> Actor for Worker<M> {
             worker_index: self.widx,
         };
         let mut blocked = false;
-        match self.gvt.step(&ctx) {
+        let outcome = self.gvt.step(&ctx);
+        // Close out a barrier-blocked stretch: one `BarrierWait` record and
+        // counter update spanning first blocked step to release.
+        if !matches!(outcome, WorkerGvtOutcome::Blocked(_)) {
+            if let Some(start) = self.blocked_since.take() {
+                let dur = now.saturating_sub(start);
+                self.counters.barrier_wait += dur;
+                let worker = self.widx;
+                self.shared.gvt_core.emit(start, || TraceRecord::BarrierWait { worker, dur });
+            }
+        }
+        match outcome {
             WorkerGvtOutcome::Quiet => {}
             WorkerGvtOutcome::Working(c) => {
                 charge += c;
@@ -545,6 +565,9 @@ impl<M: Model> Actor for Worker<M> {
                 charge += c;
                 self.counters.gvt_time += c;
                 blocked = true;
+                if self.blocked_since.is_none() {
+                    self.blocked_since = Some(now);
+                }
             }
             WorkerGvtOutcome::Completed { gvt, cost } => {
                 charge += cost;
@@ -564,6 +587,19 @@ impl<M: Model> Actor for Worker<M> {
                         wall: now + charge,
                         committed: self.shared.stats.committed.load(Ordering::Relaxed),
                     });
+                    // Horizon snapshot: the published GVT plus every finite
+                    // worker LVT, batched so `compute` can pair them up.
+                    if let Some(tr) = self.shared.gvt_core.tracing() {
+                        let t = now + charge;
+                        let round = self.shared.gvt_core.published_round();
+                        tr.record(t, &TraceRecord::GvtPublish { round, gvt });
+                        for (i, l) in self.shared.stats.worker_lvts.iter().enumerate() {
+                            let lvt = VirtualTime::from_ordered_bits(l.load(Ordering::Relaxed));
+                            if lvt.is_finite() {
+                                tr.record(t, &TraceRecord::Lvt { worker: i as u32, lvt });
+                            }
+                        }
+                    }
                 }
                 if gvt >= cfg.end_vt() {
                     self.shared.gvt_core.signal_stop();

@@ -4,6 +4,7 @@ use cagvt_base::actor::{Actor, StepOutcome};
 use cagvt_base::fault::FaultInjector;
 use cagvt_base::ids::ActorId;
 use cagvt_base::time::WallNs;
+use cagvt_base::trace::{TraceRecord, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -23,11 +24,21 @@ pub struct VirtualConfig {
     /// Fault injector consulted to scale each step's charged cost (node
     /// straggle). `None` runs the cluster clean.
     pub faults: Option<Arc<dyn FaultInjector>>,
+    /// Trace sink observing the run (actor retirements here; the engine
+    /// layers record through their own handles to the same sink). Purely
+    /// observational: recording never changes a charged cost.
+    pub trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl Default for VirtualConfig {
     fn default() -> Self {
-        VirtualConfig { min_advance: WallNs(50), horizon: None, max_steps: None, faults: None }
+        VirtualConfig {
+            min_advance: WallNs(50),
+            horizon: None,
+            max_steps: None,
+            faults: None,
+            trace: None,
+        }
     }
 }
 
@@ -38,6 +49,7 @@ impl std::fmt::Debug for VirtualConfig {
             .field("horizon", &self.horizon)
             .field("max_steps", &self.max_steps)
             .field("faults", &self.faults.is_some())
+            .field("trace", &self.trace.is_some())
             .finish()
     }
 }
@@ -105,6 +117,11 @@ impl VirtualScheduler {
                 StepOutcome::Done => {
                     live -= 1;
                     final_time = final_time.max(now);
+                    if let Some(tr) = &self.cfg.trace {
+                        if tr.enabled() {
+                            tr.record(now, &TraceRecord::ActorDone { actor: id });
+                        }
+                    }
                 }
                 outcome => {
                     if outcome == StepOutcome::Idle {

@@ -13,6 +13,7 @@
 
 use cagvt_base::ids::{LaneId, NodeId};
 use cagvt_base::time::{VirtualTime, WallNs};
+use cagvt_base::trace::{GvtPhaseKind, TraceRecord, Track};
 use cagvt_core::gvt::{
     GvtBundle, GvtSharedCore, MpiGvt, WorkerGvt, WorkerGvtCtx, WorkerGvtOutcome,
 };
@@ -108,6 +109,12 @@ impl WorkerGvt for BarrierWorker {
             State::Idle => {
                 if try_join_round(&self.shared.core, &self.shared.rounds_started, self.rounds_done)
                 {
+                    let (track, round) = (Track::Worker(ctx.worker_index), self.rounds_done + 1);
+                    self.shared.core.emit(ctx.now, || TraceRecord::GvtRound {
+                        track,
+                        round,
+                        phase: GvtPhaseKind::BarrierEnter,
+                    });
                     let msg_count = self.sent as i64 - self.received as i64;
                     let gen = self.shared.reduce.arrive(self.node, msg_count, u64::MAX);
                     self.state = State::WaitSum(gen);
@@ -121,6 +128,13 @@ impl WorkerGvt for BarrierWorker {
                 Some(v) => {
                     if v.sum == 0 {
                         // All in-transit messages received: reduce LVTs.
+                        let (track, round) =
+                            (Track::Worker(ctx.worker_index), self.rounds_done + 1);
+                        self.shared.core.emit(ctx.now, || TraceRecord::GvtRound {
+                            track,
+                            round,
+                            phase: GvtPhaseKind::SumPass,
+                        });
                         let gen =
                             self.shared.reduce.arrive(self.node, 0, ctx.lvt.to_ordered_bits());
                         self.state = State::WaitMin(gen);
@@ -140,9 +154,20 @@ impl WorkerGvt for BarrierWorker {
                     let gvt = VirtualTime::from_ordered_bits(v.min);
                     self.rounds_done += 1;
                     self.state = State::Idle;
+                    let (track, round) = (Track::Worker(ctx.worker_index), self.rounds_done);
+                    self.shared.core.emit(ctx.now, || TraceRecord::GvtRound {
+                        track,
+                        round,
+                        phase: GvtPhaseKind::BarrierExit,
+                    });
                     // First completer publishes for the cluster.
                     if self.shared.core.published_round() < self.rounds_done {
                         self.shared.core.publish(gvt, self.rounds_done);
+                        self.shared.core.emit(ctx.now, || TraceRecord::GvtRound {
+                            track: Track::Global,
+                            round,
+                            phase: GvtPhaseKind::Publish,
+                        });
                     }
                     WorkerGvtOutcome::Completed { gvt, cost: cost.node_barrier_arrival }
                 }

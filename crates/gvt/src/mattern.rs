@@ -42,6 +42,7 @@
 
 use cagvt_base::ids::{LaneId, NodeId};
 use cagvt_base::time::{VirtualTime, WallNs};
+use cagvt_base::trace::{GvtPhaseKind, TraceRecord, Track};
 use cagvt_core::gvt::{
     GvtBundle, GvtSharedCore, MpiGvt, WorkerGvt, WorkerGvtCtx, WorkerGvtOutcome,
 };
@@ -260,6 +261,12 @@ impl MatternWorker {
         self.shared.ca.as_ref().map(|ca| &ca.barrier)
     }
 
+    /// Record a round phase transition on this worker's track.
+    fn phase_mark(&self, ctx: &WorkerGvtCtx, round: u64, phase: GvtPhaseKind) {
+        let track = Track::Worker(ctx.worker_index);
+        self.shared.core.emit(ctx.now, || TraceRecord::GvtRound { track, round, phase });
+    }
+
     /// Non-blocked outcome for in-round bookkeeping. Event processing
     /// continues during both modes' rounds — CA-GVT's synchronization
     /// blocks only *at* the three barrier points, aligning the phase
@@ -304,6 +311,7 @@ impl WorkerGvt for MatternWorker {
             Phase::White => {
                 if try_join_round(&self.shared.core, &self.shared.rounds_started, self.rounds_done)
                 {
+                    self.phase_mark(ctx, r, GvtPhaseKind::RoundStart);
                     self.sync_round = self
                         .shared
                         .ca
@@ -311,6 +319,7 @@ impl WorkerGvt for MatternWorker {
                         .map(|ca| ca.sync_flag.load(Ordering::Acquire))
                         .unwrap_or(false);
                     if self.sync_round {
+                        self.phase_mark(ctx, r, GvtPhaseKind::BarrierEnter);
                         let gen = self.ca_barrier().expect("sync implies CA").arrive(
                             self.node,
                             0,
@@ -320,6 +329,7 @@ impl WorkerGvt for MatternWorker {
                         return WorkerGvtOutcome::Blocked(cost.node_barrier_arrival);
                     }
                     self.turn_red();
+                    self.phase_mark(ctx, r, GvtPhaseKind::TurnRed);
                     self.phase = Phase::Red;
                     WorkerGvtOutcome::Working(cost.gvt_bookkeeping)
                 } else {
@@ -328,7 +338,9 @@ impl WorkerGvt for MatternWorker {
             }
             Phase::BarrierA(gen) => {
                 if self.ca_barrier().expect("CA").poll(self.node, gen).is_some() {
+                    self.phase_mark(ctx, r, GvtPhaseKind::BarrierExit);
                     self.turn_red();
+                    self.phase_mark(ctx, r, GvtPhaseKind::TurnRed);
                     self.phase = Phase::Red;
                     WorkerGvtOutcome::Blocked(cost.gvt_bookkeeping)
                 } else {
@@ -338,11 +350,13 @@ impl WorkerGvt for MatternWorker {
             Phase::Red => {
                 if self.shared.drained_round.load(Ordering::Acquire) >= r {
                     if self.sync_round {
+                        self.phase_mark(ctx, r, GvtPhaseKind::BarrierEnter);
                         let gen = self.ca_barrier().expect("CA").arrive(self.node, 0, u64::MAX);
                         self.phase = Phase::BarrierB(gen);
                         return WorkerGvtOutcome::Blocked(cost.node_barrier_arrival);
                     }
                     self.check_in(ctx);
+                    self.phase_mark(ctx, r, GvtPhaseKind::CheckIn);
                     self.phase = Phase::Checked;
                     WorkerGvtOutcome::Working(cost.gvt_bookkeeping)
                 } else {
@@ -351,7 +365,9 @@ impl WorkerGvt for MatternWorker {
             }
             Phase::BarrierB(gen) => {
                 if self.ca_barrier().expect("CA").poll(self.node, gen).is_some() {
+                    self.phase_mark(ctx, r, GvtPhaseKind::BarrierExit);
                     self.check_in(ctx);
+                    self.phase_mark(ctx, r, GvtPhaseKind::CheckIn);
                     self.phase = Phase::Checked;
                     WorkerGvtOutcome::Blocked(cost.gvt_bookkeeping)
                 } else {
@@ -362,6 +378,7 @@ impl WorkerGvt for MatternWorker {
                 if self.shared.core.published_round() >= r {
                     let gvt = self.shared.core.published_gvt();
                     if self.sync_round {
+                        self.phase_mark(ctx, r, GvtPhaseKind::BarrierEnter);
                         let gen = self.ca_barrier().expect("CA").arrive(self.node, 0, u64::MAX);
                         self.phase = Phase::BarrierC(gen, gvt);
                         return WorkerGvtOutcome::Blocked(cost.node_barrier_arrival);
@@ -375,6 +392,7 @@ impl WorkerGvt for MatternWorker {
             }
             Phase::BarrierC(gen, gvt) => {
                 if self.ca_barrier().expect("CA").poll(self.node, gen).is_some() {
+                    self.phase_mark(ctx, r, GvtPhaseKind::BarrierExit);
                     self.rounds_done = r;
                     self.phase = Phase::White;
                     WorkerGvtOutcome::Completed { gvt, cost: cost.gvt_bookkeeping }
@@ -416,8 +434,15 @@ impl MatternMpi {
         self.node.0 == 0
     }
 
+    /// Record a round phase transition on this MPI actor's track.
+    fn phase_mark(&self, now: WallNs, round: u64, phase: GvtPhaseKind) {
+        let track = Track::Mpi(self.node.0);
+        self.shared.core.emit(now, || TraceRecord::GvtRound { track, round, phase });
+    }
+
     /// Start (or restart) the white-count pass for `round`.
     fn launch_sum_pass(&mut self, now: WallNs, round: u64) -> WallNs {
+        self.phase_mark(now, round, GvtPhaseKind::SumPass);
         let shared = &self.shared;
         let mut msg = CtrlMsg::new(KIND_SUM, round, self.node);
         msg.sum = shared.per_node[self.node.index()].white.load(Ordering::Acquire);
@@ -429,6 +454,7 @@ impl MatternMpi {
 
     /// Contribute this node's mins and start pass two.
     fn launch_min_pass(&mut self, now: WallNs, round: u64) -> WallNs {
+        self.phase_mark(now, round, GvtPhaseKind::MinPass);
         let shared = &self.shared;
         let cm = &shared.per_node[self.node.index()];
         let mut msg = CtrlMsg::new(KIND_MIN, round, self.node);
@@ -442,7 +468,7 @@ impl MatternMpi {
 
     /// Publication at the initiator once pass two returns, including the
     /// CA-GVT efficiency decision.
-    fn publish(&mut self, msg: &CtrlMsg) -> WallNs {
+    fn publish(&mut self, now: WallNs, msg: &CtrlMsg) -> WallNs {
         let shared = &self.shared;
         let gvt = VirtualTime::from_ordered_bits(msg.min1.min(msg.min2));
         let mut charge = shared.cost.gvt_bookkeeping;
@@ -471,6 +497,12 @@ impl MatternMpi {
             charge += shared.cost.efficiency_check;
         }
         shared.core.publish(gvt, msg.round);
+        let round = msg.round;
+        shared.core.emit(now, || TraceRecord::GvtRound {
+            track: Track::Global,
+            round,
+            phase: GvtPhaseKind::Publish,
+        });
         charge
     }
 }
@@ -552,7 +584,7 @@ impl MpiGvt for MatternMpi {
                         matches!(self.initiator, InitiatorState::MinPass(r) if r == m.round),
                         "min pass round mismatch"
                     );
-                    charge += self.publish(&m);
+                    charge += self.publish(now + charge, &m);
                     self.initiator = InitiatorState::Idle;
                 }
                 (KIND_MIN, false) => {

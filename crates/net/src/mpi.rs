@@ -19,6 +19,7 @@
 use cagvt_base::fault::{FaultInjector, LinkShape};
 use cagvt_base::ids::NodeId;
 use cagvt_base::time::WallNs;
+use cagvt_base::trace::{TraceRecord, TraceSink};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -61,6 +62,17 @@ pub fn fabric_pair_faulted<M: Send>(
     nodes: u16,
     faults: Option<Arc<dyn FaultInjector>>,
 ) -> (Arc<MpiFabric<M>>, Arc<CtrlPlane>) {
+    fabric_pair_traced(nodes, faults, None)
+}
+
+/// [`fabric_pair_faulted`] with a trace sink: the event plane samples its
+/// inbound inbox occupancy on every drain, giving the in-flight side of
+/// the MPI-queue picture (the outbound side is sampled by the MPI pumps).
+pub fn fabric_pair_traced<M: Send>(
+    nodes: u16,
+    faults: Option<Arc<dyn FaultInjector>>,
+    trace: Option<Arc<dyn TraceSink>>,
+) -> (Arc<MpiFabric<M>>, Arc<CtrlPlane>) {
     let nics: Arc<Vec<Nic>> = Arc::new((0..nodes).map(|_| Nic::new()).collect());
     let fabric = Arc::new(MpiFabric {
         nodes,
@@ -68,6 +80,7 @@ pub fn fabric_pair_faulted<M: Send>(
         inboxes: (0..nodes).map(|_| Mailbox::new()).collect(),
         sent: AtomicU64::new(0),
         faults: faults.clone(),
+        trace,
     });
     let ctrl = Arc::new(CtrlPlane {
         nodes,
@@ -106,6 +119,7 @@ pub struct MpiFabric<M> {
     inboxes: Vec<Mailbox<M>>,
     sent: AtomicU64,
     faults: Option<Arc<dyn FaultInjector>>,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl<M: Send> MpiFabric<M> {
@@ -139,7 +153,14 @@ impl<M: Send> MpiFabric<M> {
 
     /// Batch-receive event messages at node `at`.
     pub fn drain_events(&self, at: NodeId, now: WallNs, max: usize, out: &mut Vec<M>) -> usize {
-        self.inboxes[at.index()].drain_ready_into(now, max, out)
+        let n = self.inboxes[at.index()].drain_ready_into(now, max, out);
+        if let Some(tr) = &self.trace {
+            if tr.enabled() {
+                let depth = self.inboxes[at.index()].len() as u64;
+                tr.record(now, &TraceRecord::MpiQueue { node: at.0, depth, inbound: true });
+            }
+        }
+        n
     }
 
     /// Depth of the event inbox at `at` (includes in-flight messages).

@@ -87,10 +87,7 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher::new(self.sample_size);
         f(&mut b);
         let mean = if b.timed > 0 { b.total / b.timed as u32 } else { Duration::ZERO };
-        println!(
-            "{}/{}: mean {:?}, min {:?} over {} samples",
-            self.name, id, mean, b.min, b.timed
-        );
+        println!("{}/{}: mean {:?}, min {:?} over {} samples", self.name, id, mean, b.min, b.timed);
         let _ = &self.criterion;
         self
     }

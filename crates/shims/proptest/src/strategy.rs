@@ -245,10 +245,7 @@ mod tests {
     #[test]
     fn map_union_and_tuples_compose() {
         let mut r = rng();
-        let strat = crate::prop_oneof![
-            Just(0u32),
-            (1u32..5, 10u32..20).prop_map(|(a, b)| a + b),
-        ];
+        let strat = crate::prop_oneof![Just(0u32), (1u32..5, 10u32..20).prop_map(|(a, b)| a + b),];
         let mut saw_zero = false;
         let mut saw_sum = false;
         for _ in 0..200 {

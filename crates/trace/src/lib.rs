@@ -1,0 +1,29 @@
+//! `cagvt-trace` — the concrete observability layer behind the
+//! [`TraceSink`](cagvt_base::TraceSink) hook defined in `cagvt-base`
+//! (sibling of `FaultInjector`).
+//!
+//! * [`TraceRecorder`] — per-actor ring-buffer recorder with a global
+//!   sequence number; deterministic under the virtual scheduler, safe (and
+//!   low-contention) under `ThreadRuntime`.
+//! * [`chrome_trace`] — Chrome trace-event JSON export, loadable in
+//!   Perfetto (<https://ui.perfetto.dev>): nodes as processes, workers and
+//!   MPI actors as threads, GVT rounds as flow events, queue depths and
+//!   LVTs as counters.
+//! * [`csv_trace`] — the same stream as tidy CSV for notebook analysis.
+//! * [`HorizonStats`] — virtual-time-horizon statistics (width, roughness,
+//!   per-round utilization) computed from the LVT snapshots in a trace.
+//!
+//! Recording charges no simulated wall-clock cost: the trace observes the
+//! run, it never participates in it. The `tracing_never_perturbs` proptest
+//! in the workspace root holds traced and untraced runs to bit-identical
+//! results.
+
+pub mod chrome;
+pub mod horizon;
+pub mod recorder;
+pub mod ring;
+
+pub use chrome::{chrome_trace, csv_trace, TraceMeta};
+pub use horizon::{HorizonStats, RoundHorizon};
+pub use recorder::{TraceRecorder, DEFAULT_RING_CAP};
+pub use ring::{Ring, TraceEvent};

@@ -1,0 +1,126 @@
+//! Fixed-capacity flight-recorder ring for trace records.
+
+use cagvt_base::time::WallNs;
+use cagvt_base::TraceRecord;
+
+/// One recorded observation: a global sequence number (total order across
+/// all rings), its simulated wall-clock timestamp and the record itself.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    pub seq: u64,
+    pub t: WallNs,
+    pub rec: TraceRecord,
+}
+
+/// A bounded ring that keeps the *latest* `cap` records (flight-recorder
+/// semantics): when full, each push overwrites the oldest record and the
+/// dropped counter increments — exactly once per lost record.
+#[derive(Debug)]
+pub struct Ring {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest record (only meaningful once wrapped).
+    head: usize,
+    /// Records overwritten since creation.
+    dropped: u64,
+}
+
+impl Ring {
+    /// `cap` must be at least 1.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        Ring { buf: Vec::new(), cap, head: 0, dropped: 0 }
+    }
+
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Exact count of records lost to wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, head) = self.buf.split_at(self.head);
+        head.iter().chain(tail.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent { seq, t: WallNs(seq * 10), rec: TraceRecord::ActorDone { actor: seq as u32 } }
+    }
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut r = Ring::new(4);
+        for s in 0..3 {
+            r.push(ev(s));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wraps_keeping_latest_with_exact_drop_count() {
+        let mut r = Ring::new(4);
+        for s in 0..10 {
+            r.push(ev(s));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6, "10 pushed into cap 4 drops exactly 6");
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "latest records retained, oldest first");
+    }
+
+    #[test]
+    fn boundary_exactly_full_drops_nothing() {
+        let mut r = Ring::new(3);
+        for s in 0..3 {
+            r.push(ev(s));
+        }
+        assert_eq!((r.len(), r.dropped()), (3, 0));
+        r.push(ev(3));
+        assert_eq!((r.len(), r.dropped()), (3, 1));
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_latest() {
+        let mut r = Ring::new(1);
+        for s in 0..5 {
+            r.push(ev(s));
+        }
+        assert_eq!((r.len(), r.dropped()), (1, 4));
+        assert_eq!(r.iter().next().unwrap().seq, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = Ring::new(0);
+    }
+}

@@ -38,6 +38,7 @@
 //! | [`core`] | the Time Warp engine, GVT interface, sequential reference |
 //! | [`gvt`] | Barrier, Mattern and CA-GVT algorithms |
 //! | [`fault`] | deterministic fault plans: stragglers, link degradation, drops |
+//! | [`trace`] | ring-buffer trace recorder, Chrome/Perfetto export, horizon statistics |
 //! | [`models`] | modified PHOLD, epidemic (SIR), PCS cellular models |
 //!
 //! See `DESIGN.md` for the system inventory and the experiment index, and
@@ -50,10 +51,13 @@ pub use cagvt_fault as fault;
 pub use cagvt_gvt as gvt;
 pub use cagvt_models as models;
 pub use cagvt_net as net;
+pub use cagvt_trace as trace;
 
 /// The commonly-needed imports in one place.
 pub mod prelude {
-    pub use cagvt_base::{Actor, FaultInjector, FaultStats, LpId, NoFaults, VirtualTime, WallNs};
+    pub use cagvt_base::{
+        Actor, FaultInjector, FaultStats, LpId, NoFaults, NullTrace, TraceSink, VirtualTime, WallNs,
+    };
     pub use cagvt_core::cluster::{
         build_cluster, build_shared, build_shared_faulted, run_virtual, run_virtual_with,
     };
@@ -66,4 +70,5 @@ pub mod prelude {
     pub use cagvt_models::presets::{comm_dominated, comp_dominated, mixed_model};
     pub use cagvt_models::{CqnModel, EpidemicModel, PcsModel, PholdModel, TrafficModel};
     pub use cagvt_net::{ClusterSpec, CostModel, MpiMode};
+    pub use cagvt_trace::{chrome_trace, csv_trace, HorizonStats, TraceMeta, TraceRecorder};
 }

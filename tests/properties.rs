@@ -160,6 +160,75 @@ proptest! {
         prop_assert_eq!(a.sched_steps, b.sched_steps);
         prop_assert_eq!(a.sim_seconds, b.sim_seconds);
     }
+
+    /// Tracing is purely observational: the same run with no sink, with
+    /// the disabled `NullTrace` sink and with the full ring-buffer
+    /// recorder commits identical events and states (matching the
+    /// sequential oracle), takes the same number of scheduler steps, and
+    /// the same holds with a fault plan active.
+    #[test]
+    fn tracing_never_perturbs(
+        kind in arb_kind(),
+        seed in any::<u32>(),
+        remote in 0.0f64..0.3,
+        severity in 0.1f64..1.0,
+        fault_seed in any::<u32>(),
+    ) {
+        let mut cfg = SimConfig::small(2, 2);
+        cfg.lps_per_worker = 4;
+        cfg.end_time = 10.0;
+        cfg.seed = seed as u64 | 0x7ACE_0000_0000;
+        let model = phold_for(&cfg, 0.2, remote, 2_000);
+
+        let run = |trace: Option<Arc<dyn TraceSink>>| {
+            let vcfg = VirtualConfig { trace, ..Default::default() };
+            run_virtual_with(Arc::new(model.clone()), cfg, vcfg, |shared| {
+                make_bundle(kind, shared)
+            })
+        };
+        let plain = run(None);
+        let null = run(Some(Arc::new(NullTrace)));
+        let recorder = TraceRecorder::new();
+        let ring = run(Some(recorder.clone() as Arc<dyn TraceSink>));
+        prop_assert!(recorder.recorded() > 0, "recorder saw no records");
+
+        let seq = SequentialSim::new(Arc::new(model.clone()), cfg).run();
+        prop_assert_eq!(plain.committed, seq.processed);
+        prop_assert_eq!(plain.state_fingerprint, seq.fingerprint);
+        for r in [&null, &ring] {
+            prop_assert_eq!(r.committed, plain.committed);
+            prop_assert_eq!(r.state_fingerprint, plain.state_fingerprint);
+            prop_assert_eq!(r.sched_steps, plain.sched_steps);
+            prop_assert_eq!(r.sim_seconds, plain.sim_seconds);
+        }
+
+        // With a fault plan active the recorder still changes nothing —
+        // faulted-and-traced matches faulted-untraced bit for bit, and
+        // both still commit the clean run's events.
+        let span = WallNs(((plain.sim_seconds * 1e9) as u64).max(1_000_000));
+        let topology = FaultTopology::from(&cfg.spec);
+        let spec = FaultSpec::new(severity, fault_seed as u64, span);
+        let plan = FaultPlan::generate(&topology, &spec);
+        let faulted = |trace: Option<Arc<dyn TraceSink>>| {
+            let rt = Arc::new(FaultRuntime::new(topology, &plan, spec.seed));
+            let vcfg = VirtualConfig {
+                faults: Some(rt as Arc<dyn FaultInjector>),
+                trace,
+                ..Default::default()
+            };
+            run_virtual_with(Arc::new(model.clone()), cfg, vcfg, |shared| {
+                make_bundle(kind, shared)
+            })
+        };
+        let fplain = faulted(None);
+        let ftraced = faulted(Some(TraceRecorder::new() as Arc<dyn TraceSink>));
+        prop_assert_eq!(ftraced.committed, fplain.committed);
+        prop_assert_eq!(ftraced.state_fingerprint, fplain.state_fingerprint);
+        prop_assert_eq!(ftraced.sched_steps, fplain.sched_steps);
+        prop_assert_eq!(ftraced.sim_seconds, fplain.sim_seconds);
+        prop_assert_eq!(fplain.committed, plain.committed);
+        prop_assert_eq!(fplain.state_fingerprint, plain.state_fingerprint);
+    }
 }
 
 proptest! {
