@@ -1,0 +1,250 @@
+//! Machine-readable bench trajectory: `BENCH_summary.json`.
+//!
+//! Every `figures` invocation appends one summary file to its output
+//! directory: per-figure wall-clock, runs-per-second and total committed
+//! events, plus the sweep thread count that produced them. A serial
+//! invocation (`CAGVT_SWEEP_THREADS=1`) additionally records a *baseline*
+//! file; later parallel invocations read that baseline back and report
+//! per-figure speedup, so the bench trajectory (serial cost, parallel
+//! cost, speedup) is tracked across invocations without any external
+//! tooling.
+//!
+//! The JSON is written with plain formatting (the offline `serde_json`
+//! shim has no derive support) and read back through the shim's `Value`
+//! tree, which is all the consumers (CI, plots) need.
+
+use crate::Row;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Schema tag of the summary document.
+pub const SUMMARY_SCHEMA: &str = "cagvt-bench-summary/v1";
+/// Schema tag of the serial-baseline document.
+pub const BASELINE_SCHEMA: &str = "cagvt-bench-baseline/v1";
+/// Environment override pointing at a baseline file to compare against.
+pub const BASELINE_ENV: &str = "CAGVT_BENCH_BASELINE";
+/// File names written next to the figure CSVs.
+pub const SUMMARY_FILE: &str = "BENCH_summary.json";
+pub const BASELINE_FILE: &str = "BENCH_serial_baseline.json";
+
+/// One figure's cost in a `figures` invocation.
+#[derive(Clone, Debug)]
+pub struct FigureBench {
+    pub name: String,
+    /// Rows (= runs) the figure produced.
+    pub runs: usize,
+    /// Wall-clock of the whole figure (all runs, whatever the threading).
+    pub wall_s: f64,
+    /// Committed events summed over the figure's runs.
+    pub committed: u64,
+    /// Sum of per-run host seconds (the work actually done; with N sweep
+    /// threads this exceeds `wall_s` by up to a factor of N).
+    pub run_host_s: f64,
+}
+
+impl FigureBench {
+    /// Measure one figure from its rows and observed wall-clock.
+    pub fn from_rows(name: &str, wall_s: f64, rows: &[Row]) -> Self {
+        FigureBench {
+            name: name.to_string(),
+            runs: rows.len(),
+            wall_s,
+            committed: rows.iter().map(|r| r.report.committed).sum(),
+            run_host_s: rows.iter().map(|r| r.report.host_seconds).sum(),
+        }
+    }
+
+    fn runs_per_sec(&self) -> f64 {
+        cagvt_core::report::safe_rate(self.runs as f64, self.wall_s)
+    }
+}
+
+/// The whole invocation's trajectory record.
+#[derive(Clone, Debug, Default)]
+pub struct BenchSummary {
+    pub scale: String,
+    pub threads: usize,
+    pub figures: Vec<FigureBench>,
+    /// Serial per-figure wall-clock to compute speedups against, when a
+    /// baseline file was found.
+    pub baseline: Option<BTreeMap<String, f64>>,
+}
+
+impl BenchSummary {
+    pub fn new(scale: &str, threads: usize) -> Self {
+        BenchSummary { scale: scale.to_string(), threads, figures: Vec::new(), baseline: None }
+    }
+
+    pub fn push(&mut self, fig: FigureBench) {
+        self.figures.push(fig);
+    }
+
+    pub fn total_wall_s(&self) -> f64 {
+        self.figures.iter().map(|f| f.wall_s).sum()
+    }
+
+    pub fn total_committed(&self) -> u64 {
+        self.figures.iter().map(|f| f.committed).sum()
+    }
+
+    /// Serialize the summary document. Figures appear in run order;
+    /// `speedup_vs_serial` is present only for figures with a recorded
+    /// baseline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SUMMARY_SCHEMA}\",");
+        let _ = writeln!(out, "  \"scale\": \"{}\",", escape(&self.scale));
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"total_wall_s\": {:.6},", self.total_wall_s());
+        let _ = writeln!(out, "  \"total_committed\": {},", self.total_committed());
+        out.push_str("  \"figures\": [\n");
+        for (i, f) in self.figures.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"runs\": {}, \"wall_s\": {:.6}, \
+                 \"runs_per_sec\": {:.3}, \"committed\": {}, \"run_host_s\": {:.6}",
+                escape(&f.name),
+                f.runs,
+                f.wall_s,
+                f.runs_per_sec(),
+                f.committed,
+                f.run_host_s,
+            );
+            if let Some(serial) = self.baseline.as_ref().and_then(|b| b.get(&f.name)) {
+                let _ = write!(
+                    out,
+                    ", \"serial_wall_s\": {:.6}, \"speedup_vs_serial\": {:.3}",
+                    serial,
+                    cagvt_core::report::safe_rate(*serial, f.wall_s),
+                );
+            }
+            out.push('}');
+            out.push_str(if i + 1 < self.figures.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serialize the serial-baseline document (per-figure wall-clock only).
+    pub fn baseline_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{BASELINE_SCHEMA}\",");
+        let _ = writeln!(out, "  \"scale\": \"{}\",", escape(&self.scale));
+        out.push_str("  \"figures\": {\n");
+        for (i, f) in self.figures.iter().enumerate() {
+            let _ = write!(out, "    \"{}\": {:.6}", escape(&f.name), f.wall_s);
+            out.push_str(if i + 1 < self.figures.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Attach a baseline for speedup reporting: the `CAGVT_BENCH_BASELINE`
+    /// file when the variable is set, else `<dir>/BENCH_serial_baseline.json`
+    /// if present. A missing or malformed file just means no speedup column.
+    pub fn load_baseline(&mut self, dir: &Path) {
+        let path = match std::env::var(BASELINE_ENV) {
+            Ok(p) => std::path::PathBuf::from(p),
+            Err(_) => dir.join(BASELINE_FILE),
+        };
+        self.baseline = read_baseline(&path);
+    }
+}
+
+/// Parse a baseline file into `{figure -> serial wall seconds}`.
+pub fn read_baseline(path: &Path) -> Option<BTreeMap<String, f64>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = serde_json::from_str(&text).ok()?;
+    if doc["schema"].as_str() != Some(BASELINE_SCHEMA) {
+        return None;
+    }
+    let figures = doc["figures"].as_object()?;
+    let mut map = BTreeMap::new();
+    for (name, v) in figures {
+        map.insert(name.clone(), v.as_f64()?);
+    }
+    Some(map)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagvt_core::RunReport;
+
+    fn fig(name: &str, wall: f64, committed: u64) -> FigureBench {
+        FigureBench { name: name.into(), runs: 8, wall_s: wall, committed, run_host_s: wall * 3.0 }
+    }
+
+    fn summary() -> BenchSummary {
+        let mut s = BenchSummary::new("bench", 4);
+        s.push(fig("fig5", 0.5, 1000));
+        s.push(fig("fig6", 1.5, 2000));
+        s
+    }
+
+    #[test]
+    fn summary_json_parses_and_carries_totals() {
+        let doc = serde_json::from_str(&summary().to_json()).expect("valid JSON");
+        assert_eq!(doc["schema"].as_str(), Some(SUMMARY_SCHEMA));
+        assert_eq!(doc["threads"].as_u64(), Some(4));
+        assert_eq!(doc["total_committed"].as_u64(), Some(3000));
+        assert!((doc["total_wall_s"].as_f64().unwrap() - 2.0).abs() < 1e-9);
+        let figs = doc["figures"].as_array().unwrap();
+        assert_eq!(figs.len(), 2);
+        assert_eq!(figs[0]["name"].as_str(), Some("fig5"));
+        assert_eq!(figs[0]["runs"].as_u64(), Some(8));
+        assert_eq!(figs[1]["committed"].as_u64(), Some(2000));
+        assert!(figs[0]["speedup_vs_serial"].is_null(), "no baseline attached");
+    }
+
+    #[test]
+    fn baseline_roundtrip_enables_speedup() {
+        let dir = std::env::temp_dir().join(format!("cagvt-bench-sum-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let serial = summary();
+        std::fs::write(dir.join(BASELINE_FILE), serial.baseline_json()).unwrap();
+
+        let mut parallel = summary();
+        parallel.figures[0].wall_s = 0.25; // 2x faster than the baseline
+        parallel.baseline = read_baseline(&dir.join(BASELINE_FILE));
+        assert!(parallel.baseline.is_some());
+        let doc = serde_json::from_str(&parallel.to_json()).unwrap();
+        let figs = doc["figures"].as_array().unwrap();
+        assert!((figs[0]["speedup_vs_serial"].as_f64().unwrap() - 2.0).abs() < 1e-9);
+        assert!((figs[1]["speedup_vs_serial"].as_f64().unwrap() - 1.0).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_baseline_is_ignored() {
+        let dir = std::env::temp_dir().join(format!("cagvt-bench-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(BASELINE_FILE);
+        std::fs::write(&p, "{not json").unwrap();
+        assert!(read_baseline(&p).is_none());
+        std::fs::write(&p, "{\"schema\": \"other/v9\", \"figures\": {}}").unwrap();
+        assert!(read_baseline(&p).is_none(), "wrong schema tag rejected");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_rows_sums_committed_and_host_seconds() {
+        let report = RunReport { committed: 10, host_seconds: 0.5, ..Default::default() };
+        let rows = vec![
+            Row { figure: "f", series: "a".into(), nodes: 1, report: report.clone() },
+            Row { figure: "f", series: "b".into(), nodes: 2, report },
+        ];
+        let f = FigureBench::from_rows("f", 2.0, &rows);
+        assert_eq!(f.runs, 2);
+        assert_eq!(f.committed, 20);
+        assert!((f.run_host_s - 1.0).abs() < 1e-12);
+        assert!((f.runs_per_sec() - 1.0).abs() < 1e-12);
+    }
+}

@@ -9,11 +9,19 @@
 //! count and horizon; `--paper` runs the full 128-LPs-per-worker geometry
 //! (slow). Rows print to stdout; with `--out DIR` each figure is
 //! additionally written to `DIR/<figure>.csv`.
+//!
+//! Sweeps run on `CAGVT_SWEEP_THREADS` OS threads (default: one per host
+//! core; `1` is the serial runner — row order is identical either way).
+//! Every invocation writes `BENCH_summary.json` (per-figure wall-clock,
+//! runs/sec, committed events) next to the CSVs; a serial invocation also
+//! records `BENCH_serial_baseline.json`, against which later parallel
+//! invocations report per-figure speedup.
 
+use cagvt_bench::bench_summary::{BenchSummary, FigureBench, BASELINE_FILE, SUMMARY_FILE};
 use cagvt_bench::{
     base_config, ca_queue, epg_sweep, fault_sweep, fig10, fig11, fig12, fig3, fig4, fig5, fig6,
-    fig8, fig9, interval_sweep, mpi_modes, run_one, samadi, stats_table, threshold_sweep, Row,
-    Scale,
+    fig8, fig9, interval_sweep, mpi_modes, run_one, samadi, stats_table, sweep_threads,
+    threshold_sweep, Row, Scale,
 };
 use cagvt_models::presets::comm_dominated;
 use cagvt_net::MpiMode;
@@ -100,11 +108,18 @@ fn main() {
         return;
     }
 
+    let mut scale_label = "default";
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--paper" => scale = Scale::paper(),
-            "--bench-scale" => scale = Scale::bench(),
+            "--paper" => {
+                scale = Scale::paper();
+                scale_label = "paper";
+            }
+            "--bench-scale" => {
+                scale = Scale::bench();
+                scale_label = "bench";
+            }
             "--out" => {
                 out_dir = Some(it.next().expect("--out needs a directory").clone());
             }
@@ -131,6 +146,12 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
 
+    let threads = sweep_threads();
+    let summary_dir = out_dir.clone().map(std::path::PathBuf::from).unwrap_or_else(|| ".".into());
+    let mut summary = BenchSummary::new(scale_label, threads);
+    summary.load_baseline(&summary_dir);
+    eprintln!("# sweep threads: {threads}");
+
     println!("{}", Row::csv_header());
     for name in &selected {
         let t0 = std::time::Instant::now();
@@ -146,10 +167,12 @@ fn main() {
             };
             (mode.run)(&scale)
         };
+        let wall_s = t0.elapsed().as_secs_f64();
         for row in &rows {
             println!("{}", row.csv());
         }
-        eprintln!("# {name}: {} rows in {:.1}s", rows.len(), t0.elapsed().as_secs_f64());
+        eprintln!("# {name}: {} rows in {wall_s:.1}s", rows.len());
+        summary.push(FigureBench::from_rows(name, wall_s, &rows));
         if let Some(dir) = &out_dir {
             let path = format!("{dir}/{name}.csv");
             let mut f = std::fs::File::create(&path).expect("create figure csv");
@@ -159,4 +182,19 @@ fn main() {
             }
         }
     }
+
+    // Bench trajectory: the summary always, the serial baseline only when
+    // this invocation *is* the serial runner (what speedups compare to).
+    std::fs::write(summary_dir.join(SUMMARY_FILE), summary.to_json()).expect("write bench summary");
+    if threads == 1 {
+        std::fs::write(summary_dir.join(BASELINE_FILE), summary.baseline_json())
+            .expect("write serial baseline");
+    }
+    eprintln!(
+        "# bench summary: {} figures, {:.1}s wall, {} committed events -> {}",
+        summary.figures.len(),
+        summary.total_wall_s(),
+        summary.total_committed(),
+        summary_dir.join(SUMMARY_FILE).display(),
+    );
 }

@@ -14,7 +14,11 @@
 //! horizon so a full figure regenerates in seconds under the virtual
 //! scheduler.
 
+pub mod bench_summary;
+pub mod runner;
 pub mod summary;
+
+pub use runner::{execute, execute_with, sweep_threads, RunSpec, THREADS_ENV};
 
 use cagvt_base::{FaultInjector, TraceSink, WallNs};
 use cagvt_core::cluster::run_virtual_with;
@@ -171,16 +175,17 @@ fn sweep(
     gvt_interval: u64,
     scale: &Scale,
 ) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for &(kind, mode, series) in combos {
         for &nodes in &NODE_COUNTS {
-            let cfg = base_config(nodes, mode, gvt_interval, scale);
-            let workload = make_workload(&cfg);
-            let report = run_one(kind, &workload, cfg);
-            rows.push(Row { figure, series: series.to_string(), nodes, report });
+            let scale = *scale;
+            specs.push(RunSpec::new(figure, series.to_string(), nodes, move || {
+                let cfg = base_config(nodes, mode, gvt_interval, &scale);
+                run_one(kind, &make_workload(&cfg), cfg)
+            }));
         }
     }
-    rows
+    runner::execute(specs)
 }
 
 /// Figures 3-4 run the inline-MPI baseline, whose pathology (the paper's
@@ -276,16 +281,17 @@ pub fn fig9(scale: &Scale) -> Vec<Row> {
 }
 
 fn fig_mixed(figure: &'static str, x: f64, y: f64, scale: &Scale) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for &(kind, mode, series) in &THREE_ALGORITHMS {
         for &nodes in &NODE_COUNTS {
-            let cfg = base_config(nodes, mode, 25, scale);
-            let workload = mixed_model(&cfg, x, y);
-            let report = run_one(kind, &workload, cfg);
-            rows.push(Row { figure, series: series.to_string(), nodes, report });
+            let scale = *scale;
+            specs.push(RunSpec::new(figure, series.to_string(), nodes, move || {
+                let cfg = base_config(nodes, mode, 25, &scale);
+                run_one(kind, &mixed_model(&cfg, x, y), cfg)
+            }));
         }
     }
-    rows
+    runner::execute(specs)
 }
 
 /// Figure 10: 10-15 mixed model.
@@ -306,83 +312,88 @@ pub fn fig12(scale: &Scale) -> Vec<Row> {
 /// In-text stats table (§4): per algorithm and workload at the maximum
 /// node count: efficiency, rollbacks, disparity, GVT-function time.
 pub fn stats_table(scale: &Scale) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for (make, wname) in [(comp_dominated as WorkloadFn, "comp"), (comm_dominated, "comm")] {
         for &(kind, mode, series) in &THREE_ALGORITHMS {
             let nodes = *NODE_COUNTS.last().expect("non-empty");
-            let cfg = base_config(nodes, mode, 25, scale);
-            let workload = make(&cfg);
-            let report = run_one(kind, &workload, cfg);
-            rows.push(Row { figure: "stats", series: format!("{wname}-{series}"), nodes, report });
+            let scale = *scale;
+            specs.push(RunSpec::new("stats", format!("{wname}-{series}"), nodes, move || {
+                let cfg = base_config(nodes, mode, 25, &scale);
+                run_one(kind, &make(&cfg), cfg)
+            }));
         }
     }
-    rows
+    runner::execute(specs)
 }
 
 /// EPG sweep (§4 text): time spent in the Barrier GVT function as EPG
 /// grows from 10K to 40K.
 pub fn epg_sweep(scale: &Scale) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for epg in [10_000u64, 20_000, 30_000, 40_000] {
         let nodes = *NODE_COUNTS.last().expect("non-empty");
-        let cfg = base_config(nodes, MpiMode::Dedicated, 25, scale);
-        let params = PholdParams::new(0.10, 0.01, epg);
-        let workload = Workload {
-            name: format!("epg-{epg}"),
-            model: PholdModel::new(
-                cagvt_models::phold::Topology {
-                    lps_per_worker: cfg.lps_per_worker,
-                    workers_per_node: cfg.spec.workers_per_node,
-                    nodes: cfg.spec.nodes,
-                },
-                PhaseSchedule::constant(params),
-            ),
-            gvt_interval: 25,
-        };
-        let report = run_one(GvtKind::Barrier, &workload, cfg);
-        rows.push(Row { figure: "epg-sweep", series: format!("epg-{epg}"), nodes, report });
+        let scale = *scale;
+        specs.push(RunSpec::new("epg-sweep", format!("epg-{epg}"), nodes, move || {
+            let cfg = base_config(nodes, MpiMode::Dedicated, 25, &scale);
+            let params = PholdParams::new(0.10, 0.01, epg);
+            let workload = Workload {
+                name: format!("epg-{epg}"),
+                model: PholdModel::new(
+                    cagvt_models::phold::Topology {
+                        lps_per_worker: cfg.lps_per_worker,
+                        workers_per_node: cfg.spec.workers_per_node,
+                        nodes: cfg.spec.nodes,
+                    },
+                    PhaseSchedule::constant(params),
+                ),
+                gvt_interval: 25,
+            };
+            run_one(GvtKind::Barrier, &workload, cfg)
+        }));
     }
-    rows
+    runner::execute(specs)
 }
 
 /// CA-GVT threshold ablation on the 10-15 mixed model.
 pub fn threshold_sweep(scale: &Scale) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for threshold in [0.50, 0.60, 0.70, 0.80, 0.90, 0.95] {
         let nodes = *NODE_COUNTS.last().expect("non-empty");
-        let cfg = base_config(nodes, MpiMode::Dedicated, 25, scale);
-        let workload = mixed_model(&cfg, 10.0, 15.0);
-        let report = run_one(GvtKind::CaGvt { threshold }, &workload, cfg);
-        rows.push(Row {
-            figure: "threshold-sweep",
-            series: format!("thr-{threshold:.2}"),
+        let scale = *scale;
+        specs.push(RunSpec::new(
+            "threshold-sweep",
+            format!("thr-{threshold:.2}"),
             nodes,
-            report,
-        });
+            move || {
+                let cfg = base_config(nodes, MpiMode::Dedicated, 25, &scale);
+                run_one(GvtKind::CaGvt { threshold }, &mixed_model(&cfg, 10.0, 15.0), cfg)
+            },
+        ));
     }
-    rows
+    runner::execute(specs)
 }
 
 /// GVT interval ablation.
 pub fn interval_sweep(scale: &Scale) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for (make, wname) in [(comp_dominated as WorkloadFn, "comp"), (comm_dominated, "comm")] {
         for interval in [10u64, 25, 50, 100] {
             for (kind, series) in [(GvtKind::Mattern, "mattern"), (GvtKind::Barrier, "barrier")] {
                 let nodes = *NODE_COUNTS.last().expect("non-empty");
-                let cfg = base_config(nodes, MpiMode::Dedicated, interval, scale);
-                let workload = make(&cfg);
-                let report = run_one(kind, &workload, cfg);
-                rows.push(Row {
-                    figure: "interval-sweep",
-                    series: format!("{wname}-{series}-i{interval}"),
+                let scale = *scale;
+                specs.push(RunSpec::new(
+                    "interval-sweep",
+                    format!("{wname}-{series}-i{interval}"),
                     nodes,
-                    report,
-                });
+                    move || {
+                        let cfg = base_config(nodes, MpiMode::Dedicated, interval, &scale);
+                        run_one(kind, &make(&cfg), cfg)
+                    },
+                ));
             }
         }
     }
-    rows
+    runner::execute(specs)
 }
 
 /// CA-GVT trigger ablation: efficiency-only vs efficiency-or-queue
@@ -390,41 +401,38 @@ pub fn interval_sweep(scale: &Scale) -> Vec<Row> {
 /// on the communication-dominated workload, where saturation shows in the
 /// queue before it shows in cumulative efficiency.
 pub fn ca_queue(scale: &Scale) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     let nodes = *NODE_COUNTS.last().expect("non-empty");
     for (kind, series) in [
         (CA_HARNESS, "ca-efficiency"),
         (GvtKind::CaGvtQueue { threshold: 0.93, queue_threshold: 200 }, "ca-queue-200"),
         (GvtKind::CaGvtQueue { threshold: 0.93, queue_threshold: 50 }, "ca-queue-50"),
     ] {
-        let cfg = base_config(nodes, MpiMode::Dedicated, 25, scale);
-        let workload = comm_dominated(&cfg);
-        let report = run_one(kind, &workload, cfg);
-        rows.push(Row { figure: "ca-queue", series: series.to_string(), nodes, report });
+        let scale = *scale;
+        specs.push(RunSpec::new("ca-queue", series.to_string(), nodes, move || {
+            let cfg = base_config(nodes, MpiMode::Dedicated, 25, &scale);
+            run_one(kind, &comm_dominated(&cfg), cfg)
+        }));
     }
-    rows
+    runner::execute(specs)
 }
 
 /// Samadi's acknowledgement-based GVT (paper §7 related work) against
 /// Mattern: same committed events, roughly double the channel traffic.
 pub fn samadi(scale: &Scale) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for (make, wname) in [(comp_dominated as WorkloadFn, "comp"), (comm_dominated, "comm")] {
         for (kind, series) in [(GvtKind::Mattern, "mattern"), (GvtKind::Samadi, "samadi")] {
             for &nodes in &NODE_COUNTS {
-                let cfg = base_config(nodes, MpiMode::Dedicated, 25, scale);
-                let workload = make(&cfg);
-                let report = run_one(kind, &workload, cfg);
-                rows.push(Row {
-                    figure: "samadi",
-                    series: format!("{wname}-{series}"),
-                    nodes,
-                    report,
-                });
+                let scale = *scale;
+                specs.push(RunSpec::new("samadi", format!("{wname}-{series}"), nodes, move || {
+                    let cfg = base_config(nodes, MpiMode::Dedicated, 25, &scale);
+                    run_one(kind, &make(&cfg), cfg)
+                }));
             }
         }
     }
-    rows
+    runner::execute(specs)
 }
 
 /// Fault severities swept by the resilience experiment (severity 0 is the
@@ -462,20 +470,23 @@ pub fn fault_sweep(scale: &Scale) -> Vec<Row> {
     let clean = run_one(GvtKind::Mattern, &comm_dominated(&cfg0), cfg0);
     let span = WallNs(((clean.sim_seconds * 1e9) as u64).max(1_000_000));
     let topology = FaultTopology::from(&cfg0.spec);
+    let mut specs = Vec::new();
     for &(kind, mode, series) in &THREE_ALGORITHMS {
         for &severity in &FAULT_SEVERITIES {
-            let cfg = base_config(nodes, mode, 25, scale);
-            let workload = comm_dominated(&cfg);
-            let faults = make_faults(severity, topology, scale.seed ^ 0xFA17, span);
-            let report = run_one_faulted(kind, &workload, cfg, faults);
-            rows.push(Row {
-                figure: "faults",
-                series: format!("{series}-s{severity:.2}"),
+            let scale = *scale;
+            specs.push(RunSpec::new(
+                "faults",
+                format!("{series}-s{severity:.2}"),
                 nodes,
-                report,
-            });
+                move || {
+                    let cfg = base_config(nodes, mode, 25, &scale);
+                    let faults = make_faults(severity, topology, scale.seed ^ 0xFA17, span);
+                    run_one_faulted(kind, &comm_dominated(&cfg), cfg, faults)
+                },
+            ));
         }
     }
+    rows.extend(runner::execute(specs));
     rows
 }
 
@@ -488,21 +499,35 @@ pub fn fault_sweep(scale: &Scale) -> Vec<Row> {
 /// algorithms' horizon behaviour can be compared directly.
 pub fn trace_experiment(scale: &Scale, out_dir: Option<&std::path::Path>) -> Vec<Row> {
     let nodes = 4u16;
+    // Each job returns the raw run artifacts; all reporting (stderr lines,
+    // the horizon CSV, per-algorithm trace files) happens serially after
+    // collection so the output stream and files are deterministic and
+    // identical whatever the thread count.
+    type TraceRun = (RunReport, Vec<cagvt_trace::TraceEvent>, u64, u64, u16);
+    let mut jobs: Vec<Box<dyn FnOnce() -> TraceRun + Send>> = Vec::new();
+    for &(kind, mode, _series) in &THREE_ALGORITHMS {
+        let scale = *scale;
+        jobs.push(Box::new(move || {
+            let cfg = base_config(nodes, mode, 25, &scale);
+            let workload = comm_dominated(&cfg);
+            let recorder = TraceRecorder::new();
+            let report = run_one_traced(kind, &workload, cfg, recorder.clone());
+            let events = recorder.snapshot();
+            (report, events, recorder.recorded(), recorder.dropped(), cfg.spec.workers_per_node)
+        }));
+    }
+    let runs = runner::par_map(jobs, sweep_threads());
+
     let mut rows = Vec::new();
     let mut horizon =
         String::from("algorithm,round,t_ns,gvt,mean_lvt,width,roughness,utilization,samples\n");
-    for &(kind, mode, series) in &THREE_ALGORITHMS {
-        let cfg = base_config(nodes, mode, 25, scale);
-        let workload = comm_dominated(&cfg);
-        let recorder = TraceRecorder::new();
-        let report = run_one_traced(kind, &workload, cfg, recorder.clone());
-        let events = recorder.snapshot();
+    for (&(_, _, series), (report, events, recorded, dropped, workers_per_node)) in
+        THREE_ALGORITHMS.iter().zip(runs)
+    {
         let stats = HorizonStats::compute(&events);
         eprintln!(
-            "# trace {series}: {} records ({} dropped), {} horizon rounds, \
+            "# trace {series}: {recorded} records ({dropped} dropped), {} horizon rounds, \
              mean width {:.3}, mean utilization {:.3}",
-            recorder.recorded(),
-            recorder.dropped(),
             stats.rounds.len(),
             stats.mean_width,
             stats.mean_utilization,
@@ -515,7 +540,7 @@ pub fn trace_experiment(scale: &Scale, out_dir: Option<&std::path::Path>) -> Vec
             ));
         }
         if let Some(dir) = out_dir {
-            let meta = TraceMeta { nodes, workers_per_node: cfg.spec.workers_per_node };
+            let meta = TraceMeta { nodes, workers_per_node };
             std::fs::write(dir.join(format!("trace-{series}.json")), chrome_trace(&meta, &events))
                 .expect("write chrome trace");
             std::fs::write(dir.join(format!("trace-records-{series}.csv")), csv_trace(&events))
@@ -532,22 +557,23 @@ pub fn trace_experiment(scale: &Scale, out_dir: Option<&std::path::Path>) -> Vec
 /// MPI-mode ablation including the `PerWorker` pathology that motivates
 /// the dedicated MPI thread.
 pub fn mpi_modes(scale: &Scale) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for (make, wname) in [(comp_dominated as WorkloadFn, "comp"), (comm_dominated, "comm")] {
         for mode in [MpiMode::Dedicated, MpiMode::InlineWorker, MpiMode::PerWorker] {
             let nodes = *NODE_COUNTS.last().expect("non-empty");
-            let cfg = base_config(nodes, mode, 25, scale);
-            let workload = make(&cfg);
-            let report = run_one(GvtKind::Mattern, &workload, cfg);
-            rows.push(Row {
-                figure: "mpi-modes",
-                series: format!("{wname}-{}", mode.label()),
+            let scale = *scale;
+            specs.push(RunSpec::new(
+                "mpi-modes",
+                format!("{wname}-{}", mode.label()),
                 nodes,
-                report,
-            });
+                move || {
+                    let cfg = base_config(nodes, mode, 25, &scale);
+                    run_one(GvtKind::Mattern, &make(&cfg), cfg)
+                },
+            ));
         }
     }
-    rows
+    runner::execute(specs)
 }
 
 #[cfg(test)]

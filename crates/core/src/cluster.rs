@@ -220,6 +220,10 @@ pub fn run_virtual_with<M: Model>(
     let shared = build_shared_traced(model, cfg, vcfg.faults.clone(), vcfg.trace.clone());
     let bundle = make_bundle(&shared);
     let (actors, handles) = build_cluster(Arc::clone(&shared), &*bundle);
+    let t0 = std::time::Instant::now();
     let stats = VirtualScheduler::new(vcfg).run(actors);
-    RunReport::assemble(bundle.name(), &handles.shared, stats)
+    let host_seconds = t0.elapsed().as_secs_f64();
+    let mut report = RunReport::assemble(bundle.name(), &handles.shared, stats);
+    report.host_seconds = host_seconds;
+    report
 }

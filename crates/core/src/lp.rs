@@ -89,6 +89,15 @@ pub struct LpRuntime<M: Model> {
     last_key: EventKey,
     processed: VecDeque<ProcessedEvent<M>>,
     processed_ids: HashSet<EventId>,
+    /// Absolute index (see `hist_base`) of every history entry whose
+    /// `prior` is a full snapshot, ascending. Maintained on every history
+    /// push/pop so periodic-snapshot fossil collection finds the newest
+    /// snapshot below GVT by bisection instead of scanning the deque.
+    snap_idx: VecDeque<u64>,
+    /// Absolute index of `processed[0]`: the count of entries ever popped
+    /// from the front. Keeps `snap_idx` valid across fossil collection
+    /// without renumbering.
+    hist_base: u64,
     strategy: RollbackStrategy,
     /// Events processed since the last periodic snapshot.
     since_snapshot: u32,
@@ -128,6 +137,8 @@ impl<M: Model> LpRuntime<M> {
             last_key: EventKey::MIN,
             processed: VecDeque::new(),
             processed_ids: HashSet::new(),
+            snap_idx: VecDeque::new(),
+            hist_base: 0,
             strategy,
             since_snapshot: 0,
             end_time,
@@ -148,6 +159,33 @@ impl<M: Model> LpRuntime<M> {
             end_time: self.end_time,
             total_lps: self.total_lps,
         }
+    }
+
+    /// Append a history entry, indexing it if it carries a snapshot.
+    fn hist_push_back(&mut self, entry: ProcessedEvent<M>) {
+        if matches!(entry.prior, Prior::Snapshot { .. }) {
+            self.snap_idx.push_back(self.hist_base + self.processed.len() as u64);
+        }
+        self.processed.push_back(entry);
+    }
+
+    /// Pop the newest history entry (rollback), unindexing a snapshot.
+    fn hist_pop_back(&mut self) -> Option<ProcessedEvent<M>> {
+        let entry = self.processed.pop_back()?;
+        if self.snap_idx.back() == Some(&(self.hist_base + self.processed.len() as u64)) {
+            self.snap_idx.pop_back();
+        }
+        Some(entry)
+    }
+
+    /// Pop the oldest history entry (fossil collection).
+    fn hist_pop_front(&mut self) -> Option<ProcessedEvent<M>> {
+        let entry = self.processed.pop_front()?;
+        if self.snap_idx.front() == Some(&self.hist_base) {
+            self.snap_idx.pop_front();
+        }
+        self.hist_base += 1;
+        Some(entry)
     }
 
     /// Allocate the next send sequence number.
@@ -220,7 +258,7 @@ impl<M: Model> LpRuntime<M> {
         let epg = model.handle(ctx, &mut self.state, &event.payload, &mut self.rng, emit);
         self.last_key = event.key();
         self.processed_ids.insert(event.id);
-        self.processed.push_back(ProcessedEvent { event, prior, sent: Vec::new() });
+        self.hist_push_back(ProcessedEvent { event, prior, sent: Vec::new() });
         epg
     }
 
@@ -270,7 +308,7 @@ impl<M: Model> LpRuntime<M> {
             if !boundary {
                 break;
             }
-            let entry = self.processed.pop_back().expect("back() was Some");
+            let entry = self.hist_pop_back().expect("back() was Some");
             self.processed_ids.remove(&entry.event.id);
             undone += 1;
             for s in &entry.sent {
@@ -315,7 +353,7 @@ impl<M: Model> LpRuntime<M> {
     /// already sent and remain valid ("coasting forward").
     fn coast_forward(&mut self, model: &M) {
         let mut replay: Vec<ProcessedEvent<M>> = Vec::new();
-        while let Some(e) = self.processed.pop_back() {
+        while let Some(e) = self.hist_pop_back() {
             let is_snapshot = matches!(e.prior, Prior::Snapshot { .. });
             replay.push(e);
             if is_snapshot {
@@ -348,7 +386,7 @@ impl<M: Model> LpRuntime<M> {
                 model.handle(&ctx, &mut self.state, &e.event.payload, &mut self.rng, &mut sink);
             sink.take().for_each(drop);
             self.send_seq += e.sent.len() as u64;
-            self.processed.push_back(e);
+            self.hist_push_back(e);
         }
         // The snapshot cadence counter restarts from the replayed suffix.
         self.since_snapshot = 0;
@@ -374,19 +412,16 @@ impl<M: Model> LpRuntime<M> {
         let limit = match self.strategy {
             RollbackStrategy::PeriodicSnapshot(_) => {
                 // Index of the newest snapshot entry with t < gvt; nothing
-                // at or beyond it may be popped.
-                let mut last_snap = None;
-                for (i, e) in self.processed.iter().enumerate() {
-                    if e.event.recv_time >= gvt {
-                        break;
-                    }
-                    if matches!(e.prior, Prior::Snapshot { .. }) {
-                        last_snap = Some(i);
-                    }
-                }
-                match last_snap {
-                    Some(i) => i,
-                    None => return 0,
+                // at or beyond it may be popped. History times are
+                // non-decreasing, so bisect the snapshot index instead of
+                // scanning the deque: the cost is O(log snapshots) plus
+                // the entries actually freed, not O(history).
+                let (snaps, processed, base) = (&self.snap_idx, &self.processed, self.hist_base);
+                let n = snaps
+                    .partition_point(|&abs| processed[(abs - base) as usize].event.recv_time < gvt);
+                match n {
+                    0 => return 0,
+                    n => (snaps[n - 1] - base) as usize,
                 }
             }
             _ => usize::MAX,
@@ -394,7 +429,7 @@ impl<M: Model> LpRuntime<M> {
         let mut committed = 0u64;
         while let Some(front) = self.processed.front() {
             if front.event.recv_time < gvt && (committed as usize) < limit {
-                let entry = self.processed.pop_front().expect("front() was Some");
+                let entry = self.hist_pop_front().expect("front() was Some");
                 self.processed_ids.remove(&entry.event.id);
                 committed += 1;
             } else {
@@ -411,7 +446,7 @@ impl<M: Model> LpRuntime<M> {
         let mut committed = 0u64;
         while let Some(front) = self.processed.front() {
             if front.event.recv_time < gvt {
-                let entry = self.processed.pop_front().expect("front() was Some");
+                let entry = self.hist_pop_front().expect("front() was Some");
                 self.processed_ids.remove(&entry.event.id);
                 committed += 1;
             } else {
@@ -593,6 +628,32 @@ mod tests {
         assert_eq!(lp.history_len(), 0);
         // LVT is unaffected by fossil collection.
         assert_eq!(lp.lvt(), VirtualTime::new(3.0));
+    }
+
+    #[test]
+    fn periodic_fossil_keeps_newest_snapshot_below_gvt() {
+        let mut lp = LpRuntime::with_strategy(
+            LpId(0),
+            &CounterModel,
+            1,
+            RollbackStrategy::PeriodicSnapshot(2),
+            VirtualTime::new(1e9),
+            1,
+        );
+        // Entries at t=1..=5; snapshots land on t=1, t=3, t=5.
+        for (i, t) in [1.0, 2.0, 3.0, 4.0, 5.0].iter().enumerate() {
+            process_one(&mut lp, ev(*t, i as u64, 1));
+        }
+        // Newest snapshot below 4.5 is t=3: everything before it commits.
+        assert_eq!(lp.fossil_collect(VirtualTime::new(4.5)), 2);
+        assert_eq!(lp.history_len(), 3);
+        // No snapshot strictly below 3.0 remains: nothing frees.
+        assert_eq!(lp.fossil_collect(VirtualTime::new(3.0)), 0);
+        // The t=5 snapshot unlocks the t=3 and t=4 entries.
+        assert_eq!(lp.fossil_collect(VirtualTime::new(5.5)), 2);
+        assert_eq!(lp.history_len(), 1);
+        assert_eq!(lp.fossil_collect_final(VirtualTime::new(10.0)), 1);
+        assert_eq!(lp.history_len(), 0);
     }
 
     #[test]

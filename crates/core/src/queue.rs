@@ -186,6 +186,32 @@ impl<P> PendingSet<P> {
     pub fn early_antis(&self) -> usize {
         self.early_antis.len()
     }
+
+    /// Number of distinct keys tombstoned while still in the heap.
+    pub fn cancelled(&self) -> usize {
+        self.cancelled.len()
+    }
+
+    /// Drop tombstones that can never match again: no event with receive
+    /// time below GVT can be inserted or cancelled after GVT is published,
+    /// so `early_antis` entries below it are permanently stale (the
+    /// re-sent copy they missed carries a different key — see
+    /// `early_anti_matches_exact_key_only`). Fossil collection calls this
+    /// each round; without it both maps grow without bound on
+    /// rollback-heavy runs. Returns `(early_antis, cancelled)` purged.
+    pub fn purge_below(&mut self, gvt: VirtualTime) -> (usize, usize) {
+        // No live pending event sits below GVT, so every heap entry below
+        // it is a dead copy and they occupy the top of the heap
+        // contiguously. Drain them (and their `cancelled` counts) first so
+        // the map purge below cannot orphan a dead entry still in the
+        // heap, which would resurrect it as live.
+        self.clean_top();
+        let before_e = self.early_antis.len();
+        self.early_antis.retain(|k, _| k.t >= gvt);
+        let before_c = self.cancelled.len();
+        self.cancelled.retain(|k, _| k.t >= gvt);
+        (before_e - self.early_antis.len(), before_c - self.cancelled.len())
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +305,74 @@ mod tests {
         assert!(ps.insert(fresh), "anti for the old copy must not hit the new one");
         assert_eq!(ps.len(), 1);
         assert_eq!(ps.early_antis(), 1, "stale deferred anti remains remembered");
+    }
+
+    #[test]
+    fn purge_below_drops_stale_tombstones_only() {
+        let mut ps: PendingSet<u32> = PendingSet::new();
+        // Stale deferred anti at t=1.0 (its positive was re-sent at t=2.0).
+        ps.cancel(ev(1.0, 0, 0).key());
+        assert!(ps.insert(ev(2.0, 0, 0)));
+        // Fresh deferred anti above the purge horizon must survive.
+        ps.cancel(ev(9.0, 0, 5).key());
+        assert_eq!(ps.early_antis(), 2);
+        let (ea, ca) = ps.purge_below(VirtualTime::new(3.0));
+        assert_eq!((ea, ca), (1, 0));
+        assert_eq!(ps.early_antis(), 1, "the t=9 anti must remain");
+        // The surviving anti still annihilates its positive on arrival.
+        assert!(!ps.insert(ev(9.0, 0, 5)));
+        assert_eq!(ps.early_antis(), 0);
+        // The live t=2 event was untouched.
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.min_time(), VirtualTime::new(2.0));
+    }
+
+    #[test]
+    fn purge_below_never_resurrects_dead_heap_entries() {
+        // A cancelled-while-pending entry below the purge horizon: its
+        // heap copy must be consumed by the purge, not revived by losing
+        // its tombstone.
+        let mut ps = PendingSet::new();
+        let dead = ev(1.0, 0, 0);
+        let key = dead.key();
+        ps.insert(dead);
+        ps.insert(ev(5.0, 0, 1));
+        ps.cancel(key);
+        assert_eq!(ps.cancelled(), 1);
+        ps.purge_below(VirtualTime::new(2.0));
+        assert_eq!(ps.cancelled(), 0);
+        let popped = ps.pop_min().expect("live event remains");
+        assert_eq!(popped.recv_time, VirtualTime::new(5.0), "dead copy must not pop");
+        assert!(ps.pop_min().is_none());
+    }
+
+    #[test]
+    fn tombstone_maps_stay_bounded_on_rollback_heavy_runs() {
+        // Regression for the leak documented by
+        // `early_anti_matches_exact_key_only`: every round leaves behind
+        // one permanently-unmatchable deferred anti (the positive is
+        // re-sent with a later receive time) and one cancelled-while-
+        // pending tombstone. With the fossil-pass purge both maps stay
+        // O(1); without it they grow with the round count.
+        let mut ps: PendingSet<u32> = PendingSet::new();
+        for round in 0..5_000u64 {
+            let t = round as f64 + 1.0;
+            // Anti arrives before its positive; the rolled-back sender
+            // then re-sends the same id at a different time, so the
+            // deferred anti never matches.
+            ps.cancel(ev(t, 0, round).key());
+            ps.insert(ev(t + 0.25, 0, round));
+            // Cancel the re-sent copy while pending: a heap tombstone.
+            ps.cancel(ev(t + 0.25, 0, round).key());
+            // One live event per round is actually processed.
+            ps.insert(ev(t + 0.5, 1, round));
+            assert_eq!(ps.pop_min().expect("live event").recv_time, VirtualTime::new(t + 0.5));
+            // Fossil pass at the new GVT.
+            ps.purge_below(VirtualTime::new(t + 0.75));
+            assert!(ps.early_antis() <= 1, "early_antis leaked: {}", ps.early_antis());
+            assert!(ps.cancelled() <= 1, "cancelled leaked: {}", ps.cancelled());
+        }
+        assert!(ps.is_empty());
     }
 
     #[test]

@@ -11,8 +11,32 @@ use crate::model::Model;
 use crate::node::EngineShared;
 use crate::stats::{MpiCounters, WorkerCounters};
 
-/// Everything measured in one run.
-#[derive(Clone, Debug)]
+/// `num / den`, or 0.0 when the denominator is not positive. Every rate
+/// column of the report goes through this so a degenerate run (zero
+/// makespan, zero committed events) yields 0.0 in the CSVs, never NaN.
+#[inline]
+pub fn safe_rate(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// The paper's efficiency: committed over (committed + rolled back), with
+/// the empty run defined as perfectly efficient.
+#[inline]
+pub fn efficiency_of(committed: u64, rolled_back: u64) -> f64 {
+    if committed + rolled_back == 0 {
+        1.0
+    } else {
+        committed as f64 / (committed + rolled_back) as f64
+    }
+}
+
+/// Everything measured in one run. The `Default` value is an all-zero
+/// record for tests and placeholder rows, not a meaningful run.
+#[derive(Clone, Debug, Default)]
 pub struct RunReport {
     pub algorithm: String,
     pub nodes: u16,
@@ -45,6 +69,11 @@ pub struct RunReport {
     /// short horizons would otherwise dominate. Falls back to
     /// `committed_rate` when the run had too few rounds to window.
     pub steady_rate: f64,
+    /// Host wall-clock seconds the run took under the scheduler that
+    /// produced it (set by the run drivers; 0.0 when not measured). This
+    /// is real time on the machine running the simulation, not simulated
+    /// cluster time — the quantity the bench trajectory tracks.
+    pub host_seconds: f64,
 
     pub gvt_rounds: u64,
     /// GVT rounds completed inside the steady-state measurement window.
@@ -121,7 +150,7 @@ impl RunReport {
                 samples.iter().filter(|s| s.gvt >= 0.15 * end && s.gvt < 0.85 * end).count() as u64;
             let lo = samples.iter().find(|s| s.gvt >= 0.15 * end);
             let hi = samples.iter().rev().find(|s| s.gvt < end).or(samples.last());
-            let whole = if sim_seconds > 0.0 { committed as f64 / sim_seconds } else { 0.0 };
+            let whole = safe_rate(committed as f64, sim_seconds);
             let rate = match (lo, hi) {
                 (Some(a), Some(b))
                     if b.wall > a.wall
@@ -138,11 +167,7 @@ impl RunReport {
             };
             (rate, in_window)
         };
-        let efficiency = if committed + w.rolled_back == 0 {
-            1.0
-        } else {
-            committed as f64 / (committed + w.rolled_back) as f64
-        };
+        let efficiency = efficiency_of(committed, w.rolled_back);
         RunReport {
             algorithm: algorithm.to_string(),
             nodes: shared.cfg.spec.nodes,
@@ -158,8 +183,9 @@ impl RunReport {
             annihilated: w.annihilated,
             efficiency,
             sim_seconds,
-            committed_rate: if sim_seconds > 0.0 { committed as f64 / sim_seconds } else { 0.0 },
+            committed_rate: safe_rate(committed as f64, sim_seconds),
             steady_rate,
+            host_seconds: 0.0,
             gvt_rounds: shared.gvt_core.published_round(),
             window_rounds,
             gvt_time_mean: w.gvt_time.as_secs_f64() / total_workers,
@@ -313,6 +339,7 @@ mod tests {
             sim_seconds: 1.0,
             committed_rate: 90.0,
             steady_rate: 90.0,
+            host_seconds: 0.5,
             gvt_rounds: 5,
             window_rounds: 3,
             gvt_time_mean: 0.01,
@@ -378,5 +405,62 @@ mod tests {
         let fields = RunReport::csv_header().split(',').count();
         let row = sound_report().csv_row();
         assert_eq!(row.split(',').count(), fields);
+    }
+
+    #[test]
+    fn safe_rate_guards_zero_denominators() {
+        assert_eq!(safe_rate(90.0, 2.0), 45.0);
+        assert_eq!(safe_rate(90.0, 0.0), 0.0, "zero-makespan run");
+        assert_eq!(safe_rate(0.0, 0.0), 0.0, "zero-committed, zero-makespan run");
+        assert_eq!(safe_rate(1.0, -1.0), 0.0, "negative denominators are degenerate too");
+    }
+
+    #[test]
+    fn efficiency_of_guards_empty_runs() {
+        assert_eq!(efficiency_of(90, 10), 0.9);
+        assert_eq!(efficiency_of(0, 0), 1.0, "empty run is perfectly efficient");
+        assert_eq!(efficiency_of(0, 10), 0.0, "all-rolled-back run");
+    }
+
+    /// A run that committed nothing in zero simulated time (the degenerate
+    /// corner a mis-scaled config can produce) must never leak NaN into a
+    /// figure CSV through any rate column.
+    #[test]
+    fn zero_makespan_report_has_no_nan_columns() {
+        let mut r = sound_report();
+        r.committed = 0;
+        r.processed = 0;
+        r.rolled_back = 0;
+        r.sim_seconds = 0.0;
+        r.committed_rate = safe_rate(r.committed as f64, r.sim_seconds);
+        r.steady_rate = r.committed_rate;
+        r.efficiency = efficiency_of(r.committed, r.rolled_back);
+        assert_eq!(r.committed_rate, 0.0);
+        assert_eq!(r.steady_rate, 0.0);
+        assert_eq!(r.efficiency, 1.0);
+        let row = r.csv_row();
+        assert!(!row.contains("NaN") && !row.contains("inf"), "degenerate row leaked: {row}");
+        for field in row.split(',') {
+            if let Ok(v) = field.parse::<f64>() {
+                assert!(v.is_finite(), "non-finite field {field:?} in {row}");
+            }
+        }
+    }
+
+    /// Zero committed events over a positive makespan: rates are zero,
+    /// efficiency reflects the rolled-back share, nothing is NaN.
+    #[test]
+    fn zero_committed_report_has_finite_rates() {
+        let mut r = sound_report();
+        r.committed = 0;
+        r.processed = 10;
+        r.rolled_back = 10;
+        r.committed_rate = safe_rate(r.committed as f64, r.sim_seconds);
+        r.steady_rate = r.committed_rate;
+        r.efficiency = efficiency_of(r.committed, r.rolled_back);
+        assert_eq!(r.committed_rate, 0.0);
+        assert_eq!(r.efficiency, 0.0);
+        let row = r.csv_row();
+        assert!(!row.contains("NaN"), "degenerate row leaked: {row}");
     }
 }

@@ -373,6 +373,9 @@ impl<M: Model> Worker<M> {
 
     /// Fossil collect all LPs at the new GVT.
     fn fossil(&mut self, gvt: VirtualTime) -> WallNs {
+        // Tombstones keyed below the new GVT can never match again; free
+        // them with the same pass that frees LP history.
+        self.pending.purge_below(gvt);
         let mut committed = 0u64;
         for lp in &mut self.lps {
             committed += lp.fossil_collect(gvt);

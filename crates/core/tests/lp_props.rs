@@ -166,6 +166,62 @@ proptest! {
         }
     }
 
+    /// Periodic-snapshot fossil collection (driven by the incremental
+    /// snapshot index) always retains a restoration point: after fossils
+    /// at increasing GVTs, rolling back to any surviving event and
+    /// replaying still converges to the in-order run.
+    #[test]
+    fn periodic_fossil_retains_restoration_point(
+        times in prop::collection::vec(0u16..500, 3..40),
+        k in 1u32..8,
+        mut gvt_tenths in prop::collection::vec(0u32..6000, 1..4),
+        cut in any::<u16>(),
+        seed in any::<u64>(),
+    ) {
+        let events = make_events(&times);
+        let mut truth = LpRuntime::<HashModel>::new(LpId(0), &HashModel, seed);
+        for e in &events {
+            process(&mut truth, e.clone());
+        }
+        let mut lp = LpRuntime::<HashModel>::with_strategy(
+            LpId(0),
+            &HashModel,
+            seed,
+            RollbackStrategy::PeriodicSnapshot(k),
+            cagvt_base::VirtualTime::new(1e9),
+            1,
+        );
+        for e in &events {
+            process(&mut lp, e.clone());
+        }
+        gvt_tenths.sort_unstable();
+        let mut committed = 0u64;
+        for g in &gvt_tenths {
+            let gvt = VirtualTime::new(*g as f64 / 10.0);
+            committed += lp.fossil_collect(gvt);
+            let below = events.iter().filter(|e| e.recv_time < gvt).count() as u64;
+            prop_assert!(committed <= below, "over-committed past GVT");
+        }
+        let max_gvt = VirtualTime::new(*gvt_tenths.last().expect("non-empty") as f64 / 10.0);
+        let survivors: Vec<_> = events.iter().filter(|e| e.recv_time >= max_gvt).collect();
+        if !survivors.is_empty() {
+            let cut_idx = (cut as usize) % survivors.len();
+            let cut_key = EventKey {
+                t: survivors[cut_idx].recv_time,
+                id: EventId::new(LpId(0), 0),
+            };
+            let rb = lp.rollback_to(&HashModel, cut_key);
+            let mut replay = rb.reenqueue;
+            replay.sort_by_key(|e| e.key());
+            for e in replay {
+                process(&mut lp, e);
+            }
+        }
+        prop_assert_eq!(lp.state, truth.state, "state must converge after fossil+rollback");
+        prop_assert_eq!(lp.rng, truth.rng);
+        prop_assert_eq!(lp.lvt(), truth.lvt());
+    }
+
     /// Fossil collection frees exactly the events strictly below GVT and
     /// never affects the LP's forward state.
     #[test]

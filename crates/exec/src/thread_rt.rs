@@ -23,6 +23,15 @@ pub struct ThreadConfig {
     /// Yield the OS thread after this many consecutive idle polls. Keeps
     /// oversubscribed hosts (more actors than cores) live.
     pub idle_polls_before_yield: u32,
+    /// After this many consecutive yields (on top of the spin phase),
+    /// escalate to sleeping `idle_sleep` per poll. Long-idle actors (a
+    /// worker blocked on a barrier straggler, a drained model) stop
+    /// burning their core; any message delivery ends the nap at the next
+    /// poll.
+    pub idle_yields_before_sleep: u32,
+    /// Sleep length of the deepest backoff stage. Zero disables sleeping
+    /// (the runtime then caps out at yielding, the pre-backoff behavior).
+    pub idle_sleep: std::time::Duration,
     /// Abort the run if it exceeds this much real time.
     pub timeout: Option<std::time::Duration>,
 }
@@ -32,6 +41,8 @@ impl Default for ThreadConfig {
         ThreadConfig {
             realize_costs: true,
             idle_polls_before_yield: 64,
+            idle_yields_before_sleep: 16,
+            idle_sleep: std::time::Duration::from_micros(50),
             timeout: Some(std::time::Duration::from_secs(60)),
         }
     }
@@ -91,12 +102,22 @@ impl ThreadRuntime {
                                     }
                                 }
                                 StepOutcome::Idle => {
-                                    idle_streak += 1;
-                                    if idle_streak >= cfg.idle_polls_before_yield {
-                                        idle_streak = 0;
+                                    // Escalating backoff: spin (latency-
+                                    // critical handoffs), then yield (other
+                                    // runnable actors), then sleep (idle
+                                    // actors stop burning their core). Any
+                                    // progress resets the streak.
+                                    idle_streak = idle_streak.saturating_add(1);
+                                    let yield_after = cfg.idle_polls_before_yield;
+                                    let sleep_after =
+                                        yield_after.saturating_add(cfg.idle_yields_before_sleep);
+                                    if idle_streak < yield_after {
+                                        std::hint::spin_loop();
+                                    } else if idle_streak < sleep_after || cfg.idle_sleep.is_zero()
+                                    {
                                         std::thread::yield_now();
                                     } else {
-                                        std::hint::spin_loop();
+                                        std::thread::sleep(cfg.idle_sleep);
                                     }
                                 }
                             }
@@ -220,6 +241,66 @@ mod tests {
         };
         let stats = ThreadRuntime::new(cfg).run(vec![Box::new(Stuck { id: ActorId(0) })]);
         assert!(!stats.completed);
+    }
+
+    #[test]
+    fn deep_idle_backoff_does_not_lose_wakeups() {
+        // Consumer goes idle long enough to reach the sleep stage while the
+        // producer dawdles; the message must still be consumed.
+        struct SlowProducer {
+            id: ActorId,
+            tx: Arc<Mailbox<u64>>,
+            polls: u32,
+        }
+        impl Actor for SlowProducer {
+            fn id(&self) -> ActorId {
+                self.id
+            }
+            fn step(&mut self, now: WallNs) -> StepResult {
+                if self.polls > 0 {
+                    self.polls -= 1;
+                    return StepResult::idle(WallNs(10));
+                }
+                self.tx.push(now, 7);
+                StepResult::done()
+            }
+        }
+        struct Consumer {
+            id: ActorId,
+            rx: Arc<Mailbox<u64>>,
+            got: Arc<AtomicU64>,
+        }
+        impl Actor for Consumer {
+            fn id(&self) -> ActorId {
+                self.id
+            }
+            fn step(&mut self, now: WallNs) -> StepResult {
+                match self.rx.pop_ready(now) {
+                    Some(v) => {
+                        self.got.store(v, Ordering::Relaxed);
+                        StepResult::done()
+                    }
+                    None => StepResult::idle(WallNs(10)),
+                }
+            }
+        }
+        let mb = Arc::new(Mailbox::new());
+        let got = Arc::new(AtomicU64::new(0));
+        let cfg = ThreadConfig {
+            realize_costs: false,
+            // Reach the sleep stage almost immediately.
+            idle_polls_before_yield: 2,
+            idle_yields_before_sleep: 2,
+            idle_sleep: std::time::Duration::from_micros(200),
+            timeout: Some(std::time::Duration::from_secs(10)),
+        };
+        let actors: Vec<Box<dyn Actor>> = vec![
+            Box::new(Consumer { id: ActorId(0), rx: mb.clone(), got: got.clone() }),
+            Box::new(SlowProducer { id: ActorId(1), tx: mb.clone(), polls: 10_000 }),
+        ];
+        let stats = ThreadRuntime::new(cfg).run(actors);
+        assert!(stats.completed);
+        assert_eq!(got.load(Ordering::Relaxed), 7);
     }
 
     #[test]

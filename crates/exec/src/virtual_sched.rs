@@ -6,6 +6,7 @@ use cagvt_base::ids::ActorId;
 use cagvt_base::time::WallNs;
 use cagvt_base::trace::{TraceRecord, TraceSink};
 use std::cmp::Reverse;
+use std::collections::binary_heap::PeekMut;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
@@ -103,7 +104,8 @@ impl VirtualScheduler {
                     break;
                 }
             }
-            let Reverse((clock, id, slot)) = heap.pop().expect("live > 0 implies non-empty heap");
+            let mut top = heap.peek_mut().expect("live > 0 implies non-empty heap");
+            let Reverse((clock, id, slot)) = *top;
             let now = WallNs(clock);
             if let Some(horizon) = self.cfg.horizon {
                 if now > horizon {
@@ -115,6 +117,7 @@ impl VirtualScheduler {
             steps += 1;
             match result.outcome {
                 StepOutcome::Done => {
+                    PeekMut::pop(top);
                     live -= 1;
                     final_time = final_time.max(now);
                     if let Some(tr) = &self.cfg.trace {
@@ -132,7 +135,14 @@ impl VirtualScheduler {
                         None => result.cost,
                     };
                     let advance = cost.max(self.cfg.min_advance);
-                    heap.push(Reverse((clock + advance.0, id, slot)));
+                    // Reposition in place: one sift-down on drop instead of
+                    // a pop (sift-down) plus push (sift-up). When the
+                    // actor's new clock is still the heap minimum — the
+                    // common case for a worker streaming cheap events — the
+                    // sift terminates at the root. The comparator is a
+                    // total order over (clock, id, slot), so the step
+                    // sequence is identical to the pop/push formulation.
+                    *top = Reverse((clock + advance.0, id, slot));
                 }
             }
         }
