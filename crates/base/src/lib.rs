@@ -17,10 +17,14 @@
 //!   OS threads) know how to drive.
 //! * [`trace`] — the [`TraceSink`] observation hook and typed record
 //!   vocabulary (the ring recorder and exporters live in `cagvt-trace`).
+//! * [`metrics`] — the [`MetricsSink`] per-GVT-epoch observation hook and
+//!   the [`MetricsEpoch`] record (the registry, exporters and health rules
+//!   live in `cagvt-metrics`).
 
 pub mod actor;
 pub mod fault;
 pub mod ids;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -29,6 +33,7 @@ pub mod trace;
 pub use actor::{Actor, StepOutcome, StepResult};
 pub use fault::{FaultInjector, FaultStats, LinkShape, NoFaults};
 pub use ids::{ActorId, EventId, LaneId, LpId, NodeId};
+pub use metrics::{EpochMode, MetricsEpoch, MetricsSink, NullMetrics, SyncCause};
 pub use rng::{Pcg32, SplitMix64};
 pub use stats::Welford;
 pub use time::{VirtualTime, WallNs};

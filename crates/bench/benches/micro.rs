@@ -5,11 +5,12 @@
 use cagvt_base::ids::{EventId, LpId};
 use cagvt_base::rng::Pcg32;
 use cagvt_base::time::{VirtualTime, WallNs};
-use cagvt_base::NullTrace;
-use cagvt_bench::{base_config, run_one, run_one_traced, Scale};
+use cagvt_base::{NullMetrics, NullTrace};
+use cagvt_bench::{base_config, run_one, run_one_observed, run_one_traced, Scale};
 use cagvt_core::event::Event;
 use cagvt_core::queue::PendingSet;
 use cagvt_gvt::GvtKind;
+use cagvt_metrics::MetricsRegistry;
 use cagvt_models::phold::{PhaseSchedule, PholdModel, PholdParams, Topology};
 use cagvt_models::presets::Workload;
 use cagvt_net::{Mailbox, MpiMode};
@@ -166,12 +167,37 @@ fn trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of the metrics hook when no one is listening: the same run with no
+/// sink installed, with the disabled [`NullMetrics`] sink (one `enabled()`
+/// branch per GVT round) and with the full in-memory registry. The first
+/// two must be within noise of each other — same zero-overhead contract as
+/// `trace_overhead`; even the registry is cheap because the hook fires per
+/// GVT round, not per event.
+fn metrics_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(10);
+    let scale = Scale::bench();
+    let run = |metrics: Option<Arc<dyn cagvt_base::MetricsSink>>| {
+        let cfg = base_config(2, MpiMode::Dedicated, 25, &scale);
+        let workload = cagvt_models::presets::comm_dominated(&cfg);
+        match metrics {
+            None => run_one(cagvt_gvt::GvtKind::Mattern, &workload, cfg),
+            Some(m) => run_one_observed(cagvt_gvt::GvtKind::Mattern, &workload, cfg, None, m),
+        }
+    };
+    group.bench_function("no_sink", |b| b.iter(|| run(None)));
+    group.bench_function("null_sink", |b| b.iter(|| run(Some(Arc::new(NullMetrics)))));
+    group.bench_function("registry", |b| b.iter(|| run(Some(Arc::new(MetricsRegistry::new())))));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     pending_set,
     rng_and_mailbox,
     epg_sweep,
     rollback_strategies,
-    trace_overhead
+    trace_overhead,
+    metrics_overhead
 );
 criterion_main!(benches);

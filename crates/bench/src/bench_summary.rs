@@ -154,6 +154,48 @@ impl BenchSummary {
     }
 }
 
+/// Per-figure wall-clock growth factor above which [`gate`] warns
+/// (1.25 = 25% slower than the recorded serial baseline).
+pub const GATE_TOLERANCE: f64 = 1.25;
+
+/// Compare a `BENCH_summary.json` against a `BENCH_serial_baseline.json`,
+/// returning one warning line per figure whose wall-clock regressed past
+/// `tolerance`. Figures present on only one side are skipped: the gate
+/// tracks drift of the figures both invocations ran. `Err` is reserved
+/// for unreadable/malformed inputs — the gate *warns* on regressions, it
+/// never fails a build by itself (CI prints the warnings and moves on).
+pub fn gate(
+    summary_path: &Path,
+    baseline_path: &Path,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(summary_path)
+        .map_err(|e| format!("read {}: {e}", summary_path.display()))?;
+    let doc = serde_json::from_str(&text)
+        .map_err(|e| format!("parse {}: {e:?}", summary_path.display()))?;
+    if doc["schema"].as_str() != Some(SUMMARY_SCHEMA) {
+        return Err(format!("{} is not a {SUMMARY_SCHEMA} document", summary_path.display()));
+    }
+    let baseline = read_baseline(baseline_path)
+        .ok_or_else(|| format!("no usable baseline at {}", baseline_path.display()))?;
+    let figures = doc["figures"].as_array().ok_or("summary carries no figures array")?;
+    let mut warnings = Vec::new();
+    for f in figures {
+        let name = f["name"].as_str().ok_or("figure entry without a name")?;
+        let wall = f["wall_s"].as_f64().ok_or("figure entry without wall_s")?;
+        let Some(serial) = baseline.get(name) else { continue };
+        if *serial > 0.0 && wall > serial * tolerance {
+            warnings.push(format!(
+                "{name}: {wall:.3}s wall vs {serial:.3}s serial baseline \
+                 (+{:.0}% > {:.0}% tolerance)",
+                (wall / serial - 1.0) * 100.0,
+                (tolerance - 1.0) * 100.0,
+            ));
+        }
+    }
+    Ok(warnings)
+}
+
 /// Parse a baseline file into `{figure -> serial wall seconds}`.
 pub fn read_baseline(path: &Path) -> Option<BTreeMap<String, f64>> {
     let text = std::fs::read_to_string(path).ok()?;
@@ -231,6 +273,42 @@ mod tests {
         assert!(read_baseline(&p).is_none());
         std::fs::write(&p, "{\"schema\": \"other/v9\", \"figures\": {}}").unwrap();
         assert!(read_baseline(&p).is_none(), "wrong schema tag rejected");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_warns_only_on_regressions_past_tolerance() {
+        let dir = std::env::temp_dir().join(format!("cagvt-bench-gate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let serial = summary(); // fig5 0.5s, fig6 1.5s
+        std::fs::write(dir.join(BASELINE_FILE), serial.baseline_json()).unwrap();
+
+        let mut current = summary();
+        current.figures[0].wall_s = 0.55; // +10%: inside tolerance
+        current.figures[1].wall_s = 2.25; // +50%: regression
+        current.push(fig("fig9", 9.0, 100)); // absent from baseline: skipped
+        std::fs::write(dir.join(SUMMARY_FILE), current.to_json()).unwrap();
+
+        let warnings =
+            gate(&dir.join(SUMMARY_FILE), &dir.join(BASELINE_FILE), GATE_TOLERANCE).unwrap();
+        assert_eq!(warnings.len(), 1, "warnings: {warnings:?}");
+        assert!(warnings[0].starts_with("fig6:"), "warning: {}", warnings[0]);
+        assert!(warnings[0].contains("+50%"), "warning: {}", warnings[0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_rejects_missing_or_malformed_inputs() {
+        let dir = std::env::temp_dir().join(format!("cagvt-bench-gate2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let summary_path = dir.join(SUMMARY_FILE);
+        let baseline_path = dir.join(BASELINE_FILE);
+        assert!(gate(&summary_path, &baseline_path, GATE_TOLERANCE).is_err(), "missing summary");
+        std::fs::write(&summary_path, summary().to_json()).unwrap();
+        assert!(gate(&summary_path, &baseline_path, GATE_TOLERANCE).is_err(), "missing baseline");
+        std::fs::write(&summary_path, "{}").unwrap();
+        std::fs::write(&baseline_path, summary().baseline_json()).unwrap();
+        assert!(gate(&summary_path, &baseline_path, GATE_TOLERANCE).is_err(), "wrong schema");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! figures [all | <mode>...] [--paper] [--bench-scale] [--out DIR]
+//! figures summarize [DIR]
+//! figures gate [DIR | SUMMARY BASELINE]
 //! ```
 //!
 //! Run with an unknown mode name to print the full mode list. Default
@@ -17,7 +19,9 @@
 //! records `BENCH_serial_baseline.json`, against which later parallel
 //! invocations report per-figure speedup.
 
-use cagvt_bench::bench_summary::{BenchSummary, FigureBench, BASELINE_FILE, SUMMARY_FILE};
+use cagvt_bench::bench_summary::{
+    gate, BenchSummary, FigureBench, BASELINE_FILE, GATE_TOLERANCE, SUMMARY_FILE,
+};
 use cagvt_bench::{
     base_config, ca_queue, epg_sweep, fault_sweep, fig10, fig11, fig12, fig3, fig4, fig5, fig6,
     fig8, fig9, interval_sweep, mpi_modes, run_one, samadi, stats_table, sweep_threads,
@@ -82,9 +86,11 @@ fn find_mode(name: &str) -> Option<&'static Mode> {
 
 fn mode_list() -> String {
     let mut names: Vec<&str> = MODES.iter().map(|m| m.name).collect();
-    // `trace` needs the output directory, so it dispatches outside the
-    // MODES table (see main) but is a first-class mode to the user.
+    // `trace` and `health` need the output directory, so they dispatch
+    // outside the MODES table (see main) but are first-class modes to the
+    // user.
     names.push("trace");
+    names.push("health");
     names.join(" ")
 }
 
@@ -102,6 +108,37 @@ fn main() {
             Ok(text) => print!("{text}"),
             Err(e) => {
                 eprintln!("summarize failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // `figures gate [DIR | SUMMARY BASELINE]` compares a bench summary
+    // against the recorded serial baseline and prints per-figure
+    // wall-clock regressions past the tolerance. Warnings exit 0 — the
+    // gate informs, the humans decide; only unusable inputs exit nonzero.
+    if args.first().map(|s| s.as_str()) == Some("gate") {
+        let (summary_path, baseline_path) = match (args.get(1), args.get(2)) {
+            (Some(s), Some(b)) => (std::path::PathBuf::from(s), std::path::PathBuf::from(b)),
+            _ => {
+                let dir =
+                    std::path::PathBuf::from(args.get(1).cloned().unwrap_or_else(|| ".".into()));
+                (dir.join(SUMMARY_FILE), dir.join(BASELINE_FILE))
+            }
+        };
+        match gate(&summary_path, &baseline_path, GATE_TOLERANCE) {
+            Ok(warnings) if warnings.is_empty() => {
+                eprintln!("# bench gate: no figure regressed past {GATE_TOLERANCE:.2}x");
+            }
+            Ok(warnings) => {
+                for w in &warnings {
+                    println!("::warning::bench regression {w}");
+                }
+                eprintln!("# bench gate: {} figure(s) regressed (warning only)", warnings.len());
+            }
+            Err(e) => {
+                eprintln!("gate failed: {e}");
                 std::process::exit(1);
             }
         }
@@ -159,6 +196,10 @@ fn main() {
             // Dispatched outside the MODES table: the exporters write
             // per-algorithm Chrome traces and the horizon CSV to --out.
             cagvt_bench::trace_experiment(&scale, out_dir.as_deref().map(std::path::Path::new))
+        } else if name == "health" {
+            // Likewise: writes per-series epoch CSV/JSONL/Prometheus
+            // telemetry to --out and runs the health rules over it.
+            cagvt_bench::health_experiment(&scale, out_dir.as_deref().map(std::path::Path::new))
         } else {
             let Some(mode) = find_mode(name) else {
                 eprintln!("unknown experiment: {name}");

@@ -20,12 +20,14 @@ pub mod summary;
 
 pub use runner::{execute, execute_with, sweep_threads, RunSpec, THREADS_ENV};
 
-use cagvt_base::{FaultInjector, TraceSink, WallNs};
+use cagvt_base::metrics::{EpochMode, MetricsEpoch, MetricsSink};
+use cagvt_base::{FaultInjector, NodeId, TraceSink, WallNs};
 use cagvt_core::cluster::run_virtual_with;
 use cagvt_core::{RunReport, SimConfig};
 use cagvt_exec::VirtualConfig;
-use cagvt_fault::{FaultPlan, FaultRuntime, FaultSpec, FaultTopology};
+use cagvt_fault::{FaultPlan, FaultRuntime, FaultSpec, FaultTopology, Perturbation};
 use cagvt_gvt::{make_bundle, GvtKind};
+use cagvt_metrics::{HealthMonitor, MetricsRegistry};
 use cagvt_models::phold::{PhaseSchedule, PholdModel, PholdParams};
 use cagvt_models::presets::{comm_dominated, comp_dominated, mixed_model, Workload};
 use cagvt_net::MpiMode;
@@ -118,6 +120,21 @@ pub fn run_one_traced(
     run_virtual_with(model, cfg, vcfg, |shared| make_bundle(kind, shared))
 }
 
+/// [`run_one`] with a metrics sink receiving one [`MetricsEpoch`] per GVT
+/// round, optionally on a perturbed cluster (the health experiment runs
+/// both arms of that cross).
+pub fn run_one_observed(
+    kind: GvtKind,
+    workload: &Workload,
+    cfg: SimConfig,
+    faults: Option<Arc<dyn FaultInjector>>,
+    metrics: Arc<dyn MetricsSink>,
+) -> RunReport {
+    let model = Arc::new(workload.model.clone());
+    let vcfg = VirtualConfig { faults, metrics: Some(metrics), ..scheduler_valves() };
+    run_virtual_with(model, cfg, vcfg, |shared| make_bundle(kind, shared))
+}
+
 /// One data point of a figure.
 #[derive(Clone, Debug)]
 pub struct Row {
@@ -132,14 +149,14 @@ impl Row {
         "figure,series,nodes,steady_rate,committed_rate,efficiency,committed,rollbacks,rolled_back,\
          gvt_rounds,gvt_time_mean,lvt_disparity,sync_rounds,async_rounds,sim_seconds,\
          dropped_msgs,retransmits,straggled_steps,stalled_pumps,\
-         horizon_width,barrier_wait_ns,rollback_cascade"
+         horizon_width,barrier_wait_ns,rollback_cascade,health_alerts"
     }
 
     pub fn csv(&self) -> String {
         let r = &self.report;
         format!(
             "{},{},{},{:.1},{:.1},{:.4},{},{},{},{},{:.6},{:.4},{},{},{:.6},{},{},{},{},\
-             {:.4},{:.0},{}",
+             {:.4},{:.0},{},{}",
             self.figure,
             self.series,
             self.nodes,
@@ -162,6 +179,7 @@ impl Row {
             r.horizon_width,
             r.barrier_wait_ns,
             r.rollback_cascade,
+            r.health.len(),
         )
     }
 }
@@ -550,6 +568,109 @@ pub fn trace_experiment(scale: &Scale, out_dir: Option<&std::path::Path>) -> Vec
     }
     if let Some(dir) = out_dir {
         std::fs::write(dir.join("trace-horizon.csv"), horizon).expect("write horizon csv");
+    }
+    rows
+}
+
+/// Slowdown multiplier of the health experiment's straggling node, as a
+/// rational over [`cagvt_fault::plan::SCALE_DEN`] (96/16 = 6x slower).
+const HEALTH_STRAGGLE_NUM: u32 = 6 * cagvt_fault::plan::SCALE_DEN;
+
+/// The health experiment's injector: node 1 runs 6x slow from t=0 across
+/// (four times) the clean makespan, i.e. effectively the whole run. A
+/// hand-built single-perturbation plan — not a generated severity mix — so
+/// the alert stream has exactly one known cause to detect.
+fn health_straggle_injector(topology: FaultTopology, span: WallNs) -> Arc<dyn FaultInjector> {
+    let plan = FaultPlan {
+        perturbations: vec![Perturbation::NodeStraggle {
+            node: NodeId(1),
+            from: WallNs::ZERO,
+            until: WallNs(span.0.saturating_mul(4)),
+            num: HEALTH_STRAGGLE_NUM,
+            den: cagvt_fault::plan::SCALE_DEN,
+        }],
+    };
+    Arc::new(FaultRuntime::new(topology, &plan, 0x4EA1))
+}
+
+/// `figures health`: COMM-PHOLD on 4 virtual nodes under each of the
+/// three GVT algorithms, clean and with a deterministic node-straggle
+/// plan, with a [`MetricsRegistry`] attached. Per series this writes the
+/// per-epoch telemetry as tidy CSV (`metrics-<series>.csv`), JSON-lines
+/// (`.jsonl`) and a Prometheus text-exposition snapshot of the final
+/// epoch (`.prom`); the recorded stream is then replayed through
+/// [`HealthMonitor`], whose alerts land in the report's `health` section
+/// (and the `health_alerts` CSV column). The paired arms demonstrate the
+/// monitor's contract: quiet on the clean runs, straggler/efficiency
+/// alerts on the perturbed ones, annotated with the fault signature.
+pub fn health_experiment(scale: &Scale, out_dir: Option<&std::path::Path>) -> Vec<Row> {
+    let nodes = 4u16;
+    // Anchor the straggle window on the clean Mattern makespan (same
+    // discipline as `fault_sweep`) so one plan covers every algorithm.
+    let cfg0 = base_config(nodes, MpiMode::Dedicated, 25, scale);
+    let clean = run_one(GvtKind::Mattern, &comm_dominated(&cfg0), cfg0);
+    let span = WallNs(((clean.sim_seconds * 1e9) as u64).max(1_000_000));
+    let topology = FaultTopology::from(&cfg0.spec);
+
+    type HealthRun = (RunReport, Vec<MetricsEpoch>);
+    let mut labels: Vec<(String, bool)> = Vec::new();
+    let mut jobs: Vec<Box<dyn FnOnce() -> HealthRun + Send>> = Vec::new();
+    for &(kind, mode, series) in &THREE_ALGORITHMS {
+        for straggled in [false, true] {
+            let scale = *scale;
+            let out = out_dir.map(std::path::Path::to_path_buf);
+            let tag = format!("{series}-{}", if straggled { "straggle" } else { "clean" });
+            labels.push((tag.clone(), straggled));
+            jobs.push(Box::new(move || {
+                let cfg = base_config(nodes, mode, 25, &scale);
+                let workload = comm_dominated(&cfg);
+                let mut registry = MetricsRegistry::new()
+                    .with_label("algorithm", series)
+                    .with_label("series", tag.clone())
+                    .with_label("workload", workload.name.clone())
+                    .with_label("nodes", nodes.to_string())
+                    .with_label("workers", cfg.spec.total_workers().to_string());
+                if let Some(dir) = &out {
+                    registry = registry
+                        .with_csv(dir.join(format!("metrics-{tag}.csv")))
+                        .expect("create metrics csv")
+                        .with_jsonl(dir.join(format!("metrics-{tag}.jsonl")))
+                        .expect("create metrics jsonl")
+                        .with_prometheus(dir.join(format!("metrics-{tag}.prom")));
+                }
+                let registry = Arc::new(registry);
+                let faults = straggled.then(|| health_straggle_injector(topology, span));
+                let report = run_one_observed(kind, &workload, cfg, faults, registry.clone());
+                let epochs = registry.epochs();
+                (report, epochs)
+            }));
+        }
+    }
+    let runs = runner::par_map(jobs, sweep_threads());
+
+    // All reporting happens serially after collection (same discipline as
+    // `trace_experiment`): deterministic output whatever the thread count.
+    let mut rows = Vec::new();
+    for ((tag, straggled), (mut report, epochs)) in labels.into_iter().zip(runs) {
+        let mut monitor = HealthMonitor::default();
+        if straggled {
+            monitor.set_fault_context(format!(
+                "node-straggle node=1 x{}",
+                HEALTH_STRAGGLE_NUM / cagvt_fault::plan::SCALE_DEN
+            ));
+        }
+        monitor.observe_all(&epochs);
+        report.health = monitor.report_lines();
+        let sync_epochs = epochs.iter().filter(|e| e.mode == EpochMode::Sync).count();
+        eprintln!(
+            "# health {tag}: {} epochs ({sync_epochs} sync), {} alerts",
+            epochs.len(),
+            report.health.len(),
+        );
+        for alert in &report.health {
+            eprintln!("#   ! {alert}");
+        }
+        rows.push(Row { figure: "health", series: tag, nodes, report });
     }
     rows
 }

@@ -3,6 +3,7 @@
 use cagvt_base::actor::Actor;
 use cagvt_base::fault::FaultInjector;
 use cagvt_base::ids::{ActorId, EventId, LaneId, LpId, NodeId};
+use cagvt_base::metrics::MetricsSink;
 use cagvt_base::time::VirtualTime;
 use cagvt_base::trace::TraceSink;
 use cagvt_exec::{VirtualConfig, VirtualScheduler};
@@ -55,15 +56,32 @@ pub fn build_shared_traced<M: Model>(
     faults: Option<Arc<dyn FaultInjector>>,
     trace: Option<Arc<dyn TraceSink>>,
 ) -> Arc<EngineShared<M>> {
+    build_shared_observed(model, cfg, faults, trace, None)
+}
+
+/// [`build_shared_traced`] with a metrics sink installed on the GVT core:
+/// each completed GVT round publishes one windowed [`MetricsEpoch`] to it
+/// (see `GvtSharedCore::publish_epoch`). Like tracing, metrics observation
+/// never charges virtual time and a disabled sink costs one branch.
+///
+/// [`MetricsEpoch`]: cagvt_base::metrics::MetricsEpoch
+pub fn build_shared_observed<M: Model>(
+    model: Arc<M>,
+    cfg: SimConfig,
+    faults: Option<Arc<dyn FaultInjector>>,
+    trace: Option<Arc<dyn TraceSink>>,
+    metrics: Option<Arc<dyn MetricsSink>>,
+) -> Arc<EngineShared<M>> {
     cfg.validate();
     let trace = trace.or_else(cagvt_base::trace::env_sink);
     let spec = cfg.spec;
     let stats = Arc::new(SharedStats::new(spec.total_workers()));
-    let gvt_core = Arc::new(GvtSharedCore::with_trace(
+    let gvt_core = Arc::new(GvtSharedCore::with_observers(
         Arc::clone(&stats),
         spec.nodes,
         spec.workers_per_node,
         trace.clone(),
+        metrics,
     ));
     let (fabric, ctrl) = fabric_pair_traced(spec.nodes, faults.clone(), trace);
     let nodes = (0..spec.nodes)
@@ -216,8 +234,15 @@ pub fn run_virtual_with<M: Model>(
 ) -> RunReport {
     // The injector set on the scheduler config also drives the fabric and
     // MPI pumps, so one `vcfg.faults` perturbs every layer consistently;
-    // likewise one `vcfg.trace` observes every layer.
-    let shared = build_shared_traced(model, cfg, vcfg.faults.clone(), vcfg.trace.clone());
+    // likewise one `vcfg.trace` observes every layer and one `vcfg.metrics`
+    // receives every GVT epoch.
+    let shared = build_shared_observed(
+        model,
+        cfg,
+        vcfg.faults.clone(),
+        vcfg.trace.clone(),
+        vcfg.metrics.clone(),
+    );
     let bundle = make_bundle(&shared);
     let (actors, handles) = build_cluster(Arc::clone(&shared), &*bundle);
     let t0 = std::time::Instant::now();

@@ -22,9 +22,14 @@
 //! algorithms.
 
 use cagvt_base::ids::{LaneId, NodeId};
+use cagvt_base::metrics::{
+    EpochMode, MetricsEpoch, MetricsSink, SyncCause, BARRIER_A, BARRIER_B, BARRIER_C,
+};
+use cagvt_base::stats::Welford;
 use cagvt_base::time::{VirtualTime, WallNs};
 use cagvt_base::trace::{TraceRecord, TraceSink};
 use cagvt_net::MsgClass;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -54,14 +59,35 @@ pub struct GvtSharedCore {
     /// Observation hook shared by every instrumented layer (`None`: no
     /// tracing; hot paths pay a single `Option` check).
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Per-GVT-epoch metrics hook (`None`: no metering; consulted once per
+    /// round, never on the event path).
+    pub metrics: Option<Arc<dyn MetricsSink>>,
+    /// Cumulative counter totals at the previous epoch publication — the
+    /// subtraction base for the windowed deltas. Metrics-private; only
+    /// touched from [`GvtSharedCore::publish_epoch`].
+    epoch_base: Mutex<EpochBase>,
     pub total_workers: u32,
     pub nodes: u16,
     pub workers_per_node: u16,
 }
 
+/// Counter totals at the last published epoch (see
+/// [`GvtSharedCore::publish_epoch`]).
+#[derive(Clone, Copy, Debug, Default)]
+struct EpochBase {
+    committed: u64,
+    processed: u64,
+    rolled_back: u64,
+    msgs_sent: u64,
+    msgs_received: u64,
+    rollbacks: u64,
+    antis_sent: u64,
+    annihilated: u64,
+}
+
 impl GvtSharedCore {
     pub fn new(stats: Arc<SharedStats>, nodes: u16, workers_per_node: u16) -> Self {
-        Self::with_trace(stats, nodes, workers_per_node, None)
+        Self::with_observers(stats, nodes, workers_per_node, None, None)
     }
 
     pub fn with_trace(
@@ -69,6 +95,16 @@ impl GvtSharedCore {
         nodes: u16,
         workers_per_node: u16,
         trace: Option<Arc<dyn TraceSink>>,
+    ) -> Self {
+        Self::with_observers(stats, nodes, workers_per_node, trace, None)
+    }
+
+    pub fn with_observers(
+        stats: Arc<SharedStats>,
+        nodes: u16,
+        workers_per_node: u16,
+        trace: Option<Arc<dyn TraceSink>>,
+        metrics: Option<Arc<dyn MetricsSink>>,
     ) -> Self {
         GvtSharedCore {
             round_requested: AtomicBool::new(false),
@@ -79,10 +115,134 @@ impl GvtSharedCore {
             mpi_queue_depth: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             stats,
             trace,
+            metrics,
+            epoch_base: Mutex::new(EpochBase::default()),
             total_workers: nodes as u32 * workers_per_node as u32,
             nodes,
             workers_per_node,
         }
+    }
+
+    /// Whether an enabled metrics sink is installed. Workers gate their
+    /// per-round cell deposits on this so un-metered runs skip even the
+    /// round-boundary stores.
+    #[inline]
+    pub fn metrics_on(&self) -> bool {
+        matches!(&self.metrics, Some(m) if m.enabled())
+    }
+
+    /// Assemble and emit the [`MetricsEpoch`] for the round just
+    /// published. Called by worker 0 in its round-completion branch —
+    /// after the round's fossil pass, before the termination check, so the
+    /// final round is included.
+    ///
+    /// Read-only with respect to engine state (the only mutation is the
+    /// metrics-private `epoch_base`) and charges no virtual time, which is
+    /// what keeps metered runs bit-identical (`metrics_never_perturb`).
+    pub fn publish_epoch(&self, t: WallNs) {
+        let Some(sink) = self.metrics.as_deref() else { return };
+        if !sink.enabled() {
+            return;
+        }
+        let round = self.published_round();
+        let gvt = self.published_gvt();
+        let gvt_f = gvt.as_f64();
+        let stats = &self.stats;
+
+        // Cluster totals: live atomics plus the round-refreshed cells.
+        let cells = stats.merged_cells();
+        let committed = stats.committed.load(Ordering::Relaxed);
+        let processed = stats.processed.load(Ordering::Relaxed);
+        let rolled_back = stats.rolled_back.load(Ordering::Relaxed);
+        let msgs_sent = stats.msgs_sent.load(Ordering::Relaxed);
+        let msgs_received = stats.msgs_received.load(Ordering::Relaxed);
+
+        let mut base = self.epoch_base.lock();
+        let dc = committed - base.committed;
+        let dr = rolled_back - base.rolled_back;
+        let epoch_deltas = (
+            processed - base.processed,
+            msgs_sent - base.msgs_sent,
+            msgs_received - base.msgs_received,
+            cells.rollbacks - base.rollbacks,
+            cells.antis_sent - base.antis_sent,
+            cells.annihilated - base.annihilated,
+        );
+        *base = EpochBase {
+            committed,
+            processed,
+            rolled_back,
+            msgs_sent,
+            msgs_received,
+            rollbacks: cells.rollbacks,
+            antis_sent: cells.antis_sent,
+            annihilated: cells.annihilated,
+        };
+        drop(base);
+
+        // Horizon: per-worker LVT lag vs the freshly published GVT.
+        let mut lags = Vec::with_capacity(stats.worker_lvts.len());
+        let mut w = Welford::new();
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for lvt in &stats.worker_lvts {
+            let lvt = VirtualTime::from_ordered_bits(lvt.load(Ordering::Relaxed));
+            if lvt.is_finite() {
+                let lag = lvt.as_f64() - gvt_f;
+                lags.push(lag);
+                w.push(lag);
+                min = min.min(lag);
+                max = max.max(lag);
+            } else {
+                lags.push(f64::NAN);
+            }
+        }
+
+        let depths: Vec<u64> =
+            self.mpi_queue_depth.iter().map(|d| d.load(Ordering::Relaxed)).collect();
+        let mpi_queue_max = depths.iter().copied().max().unwrap_or(0);
+
+        // Controller decision for *this* round, if a controller ran one
+        // (only CA-GVT appends to gvt_trace; Barrier/Mattern epochs are
+        // "uncontrolled").
+        let (mode, cause, barriers) = {
+            let tr = stats.gvt_trace.lock();
+            match tr.last() {
+                Some(r) if r.round == round => {
+                    if r.synchronous {
+                        (EpochMode::Sync, r.cause, BARRIER_A | BARRIER_B | BARRIER_C)
+                    } else {
+                        (EpochMode::Async, SyncCause::None, 0)
+                    }
+                }
+                _ => (EpochMode::Uncontrolled, SyncCause::None, 0),
+            }
+        };
+
+        let epoch = MetricsEpoch {
+            round,
+            t,
+            gvt: gvt_f,
+            committed_delta: dc,
+            processed_delta: epoch_deltas.0,
+            rolled_back_delta: dr,
+            rollbacks_delta: epoch_deltas.3,
+            antis_sent_delta: epoch_deltas.4,
+            annihilated_delta: epoch_deltas.5,
+            msgs_sent_delta: epoch_deltas.1,
+            msgs_received_delta: epoch_deltas.2,
+            efficiency_window: if dc + dr == 0 { 1.0 } else { dc as f64 / (dc + dr) as f64 },
+            efficiency_cum: stats.efficiency(),
+            worker_lag: lags,
+            horizon_width: if max >= min { max - min } else { 0.0 },
+            horizon_roughness: w.std_dev(),
+            mean_lag: if w.count() > 0 { w.mean() } else { 0.0 },
+            mpi_queue_depths: depths,
+            mpi_queue_max,
+            mode,
+            barriers,
+            cause,
+        };
+        sink.on_epoch(t, &epoch);
     }
 
     /// Record one trace observation. The record is constructed lazily, so
@@ -377,6 +537,74 @@ mod tests {
         assert!(!core.round_requested());
         core.request_round();
         assert!(core.round_requested());
+    }
+
+    #[test]
+    fn publish_epoch_emits_windowed_deltas() {
+        use crate::stats::GvtRoundRecord;
+        use cagvt_base::metrics::MetricsSink;
+
+        struct Capture(Mutex<Vec<MetricsEpoch>>);
+        impl MetricsSink for Capture {
+            fn on_epoch(&self, _t: WallNs, e: &MetricsEpoch) {
+                self.0.lock().push(e.clone());
+            }
+        }
+
+        let stats = Arc::new(SharedStats::new(2));
+        let sink = Arc::new(Capture(Mutex::new(Vec::new())));
+        let core = GvtSharedCore::with_observers(
+            Arc::clone(&stats),
+            1,
+            2,
+            None,
+            Some(sink.clone() as Arc<dyn MetricsSink>),
+        );
+        assert!(core.metrics_on());
+
+        stats.committed.store(80, Ordering::Relaxed);
+        stats.rolled_back.store(20, Ordering::Relaxed);
+        stats.worker_lvts[0].store(VirtualTime::new(6.0).to_ordered_bits(), Ordering::Relaxed);
+        stats.worker_lvts[1].store(VirtualTime::new(4.0).to_ordered_bits(), Ordering::Relaxed);
+        core.publish(VirtualTime::new(3.0), 1);
+        core.publish_epoch(WallNs(1_000));
+
+        // Second round: +40 committed, +60 rolled back, with a CA-GVT
+        // controller record for the round.
+        stats.committed.store(120, Ordering::Relaxed);
+        stats.rolled_back.store(80, Ordering::Relaxed);
+        core.publish(VirtualTime::new(5.0), 2);
+        stats.gvt_trace.lock().push(GvtRoundRecord {
+            round: 2,
+            gvt: 5.0,
+            synchronous: true,
+            efficiency: 0.6,
+            committed_delta: 40,
+            rolled_back_delta: 60,
+            efficiency_window: 0.4,
+            cause: SyncCause::Efficiency,
+        });
+        core.publish_epoch(WallNs(2_000));
+
+        let epochs = sink.0.lock();
+        assert_eq!(epochs.len(), 2);
+        let first = &epochs[0];
+        assert_eq!(first.round, 1);
+        assert_eq!(first.committed_delta, 80);
+        assert_eq!(first.rolled_back_delta, 20);
+        assert!((first.efficiency_window - 0.8).abs() < 1e-12);
+        assert_eq!(first.mode, EpochMode::Uncontrolled);
+        // Lags vs gvt=3: {3, 1} -> width 2, mean 2.
+        assert!((first.horizon_width - 2.0).abs() < 1e-12);
+        assert!((first.mean_lag - 2.0).abs() < 1e-12);
+
+        let second = &epochs[1];
+        assert_eq!(second.committed_delta, 40);
+        assert_eq!(second.rolled_back_delta, 60);
+        assert!((second.efficiency_window - 0.4).abs() < 1e-12);
+        assert_eq!(second.mode, EpochMode::Sync);
+        assert_eq!(second.cause, SyncCause::Efficiency);
+        assert_eq!(second.barriers, BARRIER_A | BARRIER_B | BARRIER_C);
     }
 
     #[test]

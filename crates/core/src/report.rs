@@ -9,7 +9,60 @@ use std::sync::Arc;
 
 use crate::model::Model;
 use crate::node::EngineShared;
-use crate::stats::{MpiCounters, WorkerCounters};
+use crate::stats::{MpiCounters, ProgressSample, WorkerCounters};
+
+/// Steady-state measurement window: the report's `steady_rate` measures
+/// committed throughput between these fractions of GVT progress, excluding
+/// the warm-up ramp below the lower bound and the termination tail above
+/// the upper one (which at short horizons would otherwise dominate).
+pub const STEADY_WINDOW_LO_FRAC: f64 = 0.15;
+/// See [`STEADY_WINDOW_LO_FRAC`].
+pub const STEADY_WINDOW_HI_FRAC: f64 = 0.85;
+/// The window must span at least this fraction of GVT progress to be
+/// trusted; sparser sampling falls back to the whole-run rate.
+pub const STEADY_WINDOW_MIN_SPAN_FRAC: f64 = 0.3;
+/// The window must contain at least `committed / this` of the run's
+/// committed events to be trusted (guards against a window that happens to
+/// bracket an idle stretch).
+pub const STEADY_WINDOW_MIN_COMMITTED_DIV: u64 = 4;
+
+/// Compute `(steady_rate, window_rounds)` from the progress samples.
+///
+/// `window_rounds` counts GVT rounds whose sample fell inside
+/// `[STEADY_WINDOW_LO_FRAC, STEADY_WINDOW_HI_FRAC) * end`. The rate is the
+/// committed-per-second slope between the first in-window sample and the
+/// last pre-termination sample, *if* that slope covers enough of the run
+/// (see the constants above); otherwise — empty sample sets, short runs
+/// with too few rounds, degenerate slopes — it falls back to the honest
+/// whole-run rate `committed / sim_seconds`.
+pub fn steady_window(
+    samples: &[ProgressSample],
+    end: f64,
+    committed: u64,
+    sim_seconds: f64,
+) -> (f64, u64) {
+    let lo_gvt = STEADY_WINDOW_LO_FRAC * end;
+    let hi_gvt = STEADY_WINDOW_HI_FRAC * end;
+    let in_window = samples.iter().filter(|s| s.gvt >= lo_gvt && s.gvt < hi_gvt).count() as u64;
+    let lo = samples.iter().find(|s| s.gvt >= lo_gvt);
+    let hi = samples.iter().rev().find(|s| s.gvt < end).or(samples.last());
+    let whole = safe_rate(committed as f64, sim_seconds);
+    let rate = match (lo, hi) {
+        (Some(a), Some(b))
+            if b.wall > a.wall
+                && b.committed > a.committed
+                // Guard against sparse/degenerate sampling: the window
+                // must cover a substantial share of the run or the
+                // whole-run rate is the honest number.
+                && b.committed - a.committed >= committed / STEADY_WINDOW_MIN_COMMITTED_DIV
+                && b.gvt - a.gvt >= STEADY_WINDOW_MIN_SPAN_FRAC * end =>
+        {
+            (b.committed - a.committed) as f64 / (b.wall - a.wall).as_secs_f64()
+        }
+        _ => whole,
+    };
+    (rate, in_window)
+}
 
 /// `num / den`, or 0.0 when the denominator is not positive. Every rate
 /// column of the report goes through this so a degenerate run (zero
@@ -117,6 +170,12 @@ pub struct RunReport {
 
     /// Fault-injection activity (all zero on a clean run).
     pub faults: cagvt_base::FaultStats,
+
+    /// Health alerts raised by a `HealthMonitor` over the run's epoch
+    /// stream (empty when no monitor was attached or nothing fired).
+    /// Rendered as a `health:` section by `Display` and counted in the
+    /// `health_alerts` CSV column.
+    pub health: Vec<String>,
 }
 
 impl RunReport {
@@ -144,29 +203,8 @@ impl RunReport {
         let sim_seconds = sched.final_time.as_secs_f64();
         let committed = w.committed;
         let end = shared.cfg.end_time;
-        let (steady_rate, window_rounds) = {
-            let samples = stats.progress.lock();
-            let in_window =
-                samples.iter().filter(|s| s.gvt >= 0.15 * end && s.gvt < 0.85 * end).count() as u64;
-            let lo = samples.iter().find(|s| s.gvt >= 0.15 * end);
-            let hi = samples.iter().rev().find(|s| s.gvt < end).or(samples.last());
-            let whole = safe_rate(committed as f64, sim_seconds);
-            let rate = match (lo, hi) {
-                (Some(a), Some(b))
-                    if b.wall > a.wall
-                        && b.committed > a.committed
-                        // Guard against sparse/degenerate sampling: the
-                        // window must cover a substantial share of the run
-                        // or the whole-run rate is the honest number.
-                        && b.committed - a.committed >= committed / 4
-                        && b.gvt - a.gvt >= 0.3 * end =>
-                {
-                    (b.committed - a.committed) as f64 / (b.wall - a.wall).as_secs_f64()
-                }
-                _ => whole,
-            };
-            (rate, in_window)
-        };
+        let (steady_rate, window_rounds) =
+            steady_window(&stats.progress.lock(), end, committed, sim_seconds);
         let efficiency = efficiency_of(committed, w.rolled_back);
         RunReport {
             algorithm: algorithm.to_string(),
@@ -208,6 +246,7 @@ impl RunReport {
             sched_idle_steps: sched.idle_steps,
             completed: sched.completed,
             faults: shared.faults.as_ref().map(|f| f.stats()).unwrap_or_default(),
+            health: Vec::new(),
         }
     }
 
@@ -217,12 +256,12 @@ impl RunReport {
          efficiency,sim_seconds,committed_rate,gvt_rounds,gvt_time_mean,lvt_disparity,\
          sync_rounds,async_rounds,sent_regional,sent_remote,final_gvt,completed,\
          dropped_msgs,retransmits,straggled_steps,stalled_pumps,\
-         horizon_width,barrier_wait_ns,rollback_cascade"
+         horizon_width,barrier_wait_ns,rollback_cascade,health_alerts"
     }
 
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{:.4},{:.6},{:.1},{},{:.6},{:.4},{},{},{},{},{:.3},{},{},{},{},{},{:.4},{:.0},{}",
+            "{},{},{},{},{},{},{},{},{:.4},{:.6},{:.1},{},{:.6},{:.4},{},{},{},{},{:.3},{},{},{},{},{},{:.4},{:.0},{},{}",
             self.algorithm,
             self.nodes,
             self.workers_per_node,
@@ -250,6 +289,7 @@ impl RunReport {
             self.horizon_width,
             self.barrier_wait_ns,
             self.rollback_cascade,
+            self.health.len(),
         )
     }
 
@@ -312,7 +352,14 @@ impl fmt::Display for RunReport {
             f,
             "  msgs: local {}, regional {}, remote {} (mpi moved {}/{})",
             self.sent_local, self.sent_regional, self.sent_remote, self.mpi.sent, self.mpi.received
-        )
+        )?;
+        if !self.health.is_empty() {
+            write!(f, "\n  health:")?;
+            for alert in &self.health {
+                write!(f, "\n    ! {alert}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -362,6 +409,7 @@ mod tests {
             sched_idle_steps: 10,
             completed: true,
             faults: cagvt_base::FaultStats::default(),
+            health: Vec::new(),
         }
     }
 
@@ -405,6 +453,88 @@ mod tests {
         let fields = RunReport::csv_header().split(',').count();
         let row = sound_report().csv_row();
         assert_eq!(row.split(',').count(), fields);
+    }
+
+    fn sample(gvt: f64, wall_ns: u64, committed: u64) -> ProgressSample {
+        ProgressSample { gvt, wall: cagvt_base::WallNs(wall_ns), committed }
+    }
+
+    #[test]
+    fn steady_window_empty_samples_fall_back_to_whole_run_rate() {
+        // No progress samples at all (a run that never completed a GVT
+        // round): zero window rounds, rate = committed / sim_seconds.
+        let (rate, rounds) = steady_window(&[], 10.0, 100, 2.0);
+        assert_eq!(rounds, 0);
+        assert_eq!(rate, 50.0);
+        // ...and the degenerate zero-makespan corner stays finite.
+        let (rate, _) = steady_window(&[], 10.0, 0, 0.0);
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn steady_window_short_runs_fall_back_to_whole_run_rate() {
+        // All samples inside the warm-up region (gvt < lo-frac * end): the
+        // window span guard rejects the slope.
+        let end = 10.0;
+        let samples = [sample(0.5, 1_000, 5), sample(1.0, 2_000, 10)];
+        let (rate, rounds) = steady_window(&samples, end, 100, 4.0);
+        assert_eq!(rounds, 0, "no sample reached the window");
+        assert_eq!(rate, 25.0, "whole-run fallback");
+        // A single in-window sample can't form a slope either (lo == hi).
+        let samples = [sample(5.0, 1_000, 50)];
+        let (rate, rounds) = steady_window(&samples, end, 100, 4.0);
+        assert_eq!(rounds, 1);
+        assert_eq!(rate, 25.0, "single sample forces the fallback");
+    }
+
+    #[test]
+    fn steady_window_measures_the_interior_slope() {
+        let end = 10.0;
+        // Warm-up, two interior samples 1 simulated second apart with 60
+        // committed events between them, and a termination-tail sample.
+        let samples = [
+            sample(0.5, 500_000_000, 5),
+            sample(2.0, 1_000_000_000, 20),
+            sample(8.0, 2_000_000_000, 80),
+            sample(10.5, 3_000_000_000, 100),
+        ];
+        let (rate, rounds) = steady_window(&samples, end, 100, 3.0);
+        // Window [1.5, 8.5): the gvt=2 and gvt=8 samples.
+        assert_eq!(rounds, 2);
+        // Slope from gvt=2 (the first sample at/after lo) to gvt=8 (the
+        // last sample below end): 60 events over 1 s.
+        assert_eq!(rate, 60.0);
+    }
+
+    #[test]
+    fn steady_window_rejects_slopes_covering_too_little_of_the_run() {
+        let end = 10.0;
+        // Both in-window samples exist but the committed share between
+        // them is below committed / STEADY_WINDOW_MIN_COMMITTED_DIV.
+        let samples = [sample(2.0, 1_000_000_000, 2), sample(8.0, 2_000_000_000, 10)];
+        let (rate, _) = steady_window(&samples, end, 1000, 4.0);
+        assert_eq!(rate, 250.0, "sparse window falls back to whole-run rate");
+    }
+
+    #[test]
+    fn steady_window_constants_are_a_sane_window() {
+        const {
+            assert!(STEADY_WINDOW_LO_FRAC < STEADY_WINDOW_HI_FRAC);
+            assert!(STEADY_WINDOW_HI_FRAC < 1.0);
+            assert!(STEADY_WINDOW_MIN_SPAN_FRAC < STEADY_WINDOW_HI_FRAC - STEADY_WINDOW_LO_FRAC);
+            assert!(STEADY_WINDOW_MIN_COMMITTED_DIV > 0);
+        }
+    }
+
+    #[test]
+    fn health_alerts_render_and_count() {
+        let mut r = sound_report();
+        assert!(!format!("{r}").contains("health:"), "quiet run shows no health section");
+        r.health.push("straggler: worker 3".to_string());
+        r.health.push("efficiency-collapse".to_string());
+        let shown = format!("{r}");
+        assert!(shown.contains("health:") && shown.contains("! straggler: worker 3"), "{shown}");
+        assert!(r.csv_row().ends_with(",2"), "health_alerts column counts alerts");
     }
 
     #[test]

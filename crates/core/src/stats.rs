@@ -1,6 +1,7 @@
 //! Engine instrumentation: per-worker counters and cluster-shared
 //! statistics.
 
+use cagvt_base::metrics::SyncCause;
 use cagvt_base::stats::Welford;
 use cagvt_base::time::{VirtualTime, WallNs};
 use parking_lot::Mutex;
@@ -113,6 +114,12 @@ pub struct ProgressSample {
 }
 
 /// One completed GVT round, for the CA-GVT mode trace (paper §6).
+///
+/// Carries both views of efficiency: the *windowed* ratio over just this
+/// round's committed/rolled-back deltas (the signal the CA-GVT controller
+/// actually compares against its threshold) and the cumulative run ratio
+/// for reference. Recording-only — the controller's decision logic is
+/// unchanged.
 #[derive(Clone, Copy, Debug)]
 pub struct GvtRoundRecord {
     pub round: u64,
@@ -121,6 +128,44 @@ pub struct GvtRoundRecord {
     pub synchronous: bool,
     /// Cumulative efficiency observed at the end of the round.
     pub efficiency: f64,
+    /// Events committed cluster-wide during this round's window.
+    pub committed_delta: u64,
+    /// Events rolled back cluster-wide during this round's window.
+    pub rolled_back_delta: u64,
+    /// Windowed efficiency `committed_delta / (committed_delta +
+    /// rolled_back_delta)` — falls back to the cumulative ratio when the
+    /// window saw no activity (mirroring the controller's own fallback).
+    pub efficiency_window: f64,
+    /// Why the conditional barriers were armed for this round
+    /// (`SyncCause::None` for asynchronous rounds).
+    pub cause: SyncCause,
+}
+
+/// Lock-free per-worker counter cell, refreshed (not accumulated) with a
+/// snapshot of the worker's private [`WorkerCounters`] once per completed
+/// GVT round — never on the event hot path. Cache-line aligned so
+/// neighboring workers' deposits never share a line.
+///
+/// Only the counters that are *not* already live in [`SharedStats`]
+/// atomics are mirrored here; the epoch assembler sums cells with
+/// [`SharedStats::merged_cells`]. A cell may lag its worker's very latest
+/// events by at most one round.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct WorkerCell {
+    pub rollbacks: AtomicU64,
+    pub stragglers: AtomicU64,
+    pub antis_sent: AtomicU64,
+    pub annihilated: AtomicU64,
+}
+
+/// Cluster-wide totals summed over the [`WorkerCell`] deposits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CellTotals {
+    pub rollbacks: u64,
+    pub stragglers: u64,
+    pub antis_sent: u64,
+    pub annihilated: u64,
 }
 
 /// Cluster-shared statistics and live signals.
@@ -151,6 +196,9 @@ pub struct SharedStats {
     pub worker_deposits: Mutex<Vec<WorkerCounters>>,
     /// Final per-pump counters.
     pub mpi_deposits: Mutex<Vec<MpiCounters>>,
+    /// Per-worker metric cells, refreshed at GVT rounds when a metrics
+    /// sink is installed (see [`WorkerCell`]).
+    pub worker_cells: Vec<WorkerCell>,
     /// CA-GVT round trace.
     pub gvt_trace: Mutex<Vec<GvtRoundRecord>>,
     /// Progress curve samples (one per GVT round, recorded by worker 0).
@@ -179,6 +227,7 @@ impl SharedStats {
             horizon_width: Mutex::new(Welford::new()),
             worker_deposits: Mutex::new(Vec::new()),
             mpi_deposits: Mutex::new(Vec::new()),
+            worker_cells: (0..total_workers).map(|_| WorkerCell::default()).collect(),
             gvt_trace: Mutex::new(Vec::new()),
             progress: Mutex::new(Vec::new()),
             state_fp: AtomicU64::new(0),
@@ -214,6 +263,29 @@ impl SharedStats {
         }
         self.disparity.lock().push(w.std_dev());
         self.horizon_width.lock().push(if max >= min { max - min } else { 0.0 });
+    }
+
+    /// Refresh worker `widx`'s metric cell with a snapshot of its private
+    /// counters. Relaxed stores: the cell is a monotone snapshot, read
+    /// only by the epoch assembler which tolerates one round of skew.
+    pub fn publish_worker_cell(&self, widx: u32, c: &WorkerCounters) {
+        let cell = &self.worker_cells[widx as usize];
+        cell.rollbacks.store(c.rollbacks, Ordering::Relaxed);
+        cell.stragglers.store(c.stragglers, Ordering::Relaxed);
+        cell.antis_sent.store(c.antis_sent, Ordering::Relaxed);
+        cell.annihilated.store(c.annihilated, Ordering::Relaxed);
+    }
+
+    /// Sum the per-worker cells into cluster-wide totals.
+    pub fn merged_cells(&self) -> CellTotals {
+        let mut t = CellTotals::default();
+        for cell in &self.worker_cells {
+            t.rollbacks += cell.rollbacks.load(Ordering::Relaxed);
+            t.stragglers += cell.stragglers.load(Ordering::Relaxed);
+            t.antis_sent += cell.antis_sent.load(Ordering::Relaxed);
+            t.annihilated += cell.annihilated.load(Ordering::Relaxed);
+        }
+        t
     }
 }
 
@@ -264,6 +336,78 @@ mod tests {
         let h = s.horizon_width.lock();
         assert_eq!(h.count(), 1);
         assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disparity_sampling_with_no_finite_lvt_records_empty_round() {
+        // All workers idle at infinite LVT: the Welford window still gets
+        // one sample per round (std-dev of the empty set is 0) and the
+        // horizon width collapses to 0 rather than going negative/NaN.
+        let s = SharedStats::new(3);
+        for lvt in &s.worker_lvts {
+            lvt.store(VirtualTime::INFINITY.to_ordered_bits(), Ordering::Relaxed);
+        }
+        s.sample_disparity();
+        let d = s.disparity.lock();
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.mean(), 0.0);
+        let h = s.horizon_width.lock();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn disparity_sampling_single_worker_has_zero_width() {
+        let s = SharedStats::new(1);
+        s.worker_lvts[0].store(VirtualTime::new(7.5).to_ordered_bits(), Ordering::Relaxed);
+        s.sample_disparity();
+        // One finite sample: std-dev 0, width max-min = 0.
+        assert_eq!(s.disparity.lock().mean(), 0.0);
+        assert_eq!(s.horizon_width.lock().mean(), 0.0);
+    }
+
+    #[test]
+    fn disparity_sampling_skips_infinite_lvts_in_mixed_rounds() {
+        // {2, inf, 6, inf}: only the finite pair contributes, so the width
+        // is 4 and the std-dev is that of {2, 6} = 2.
+        let s = SharedStats::new(4);
+        for (i, t) in [
+            VirtualTime::new(2.0),
+            VirtualTime::INFINITY,
+            VirtualTime::new(6.0),
+            VirtualTime::INFINITY,
+        ]
+        .iter()
+        .enumerate()
+        {
+            s.worker_lvts[i].store(t.to_ordered_bits(), Ordering::Relaxed);
+        }
+        s.sample_disparity();
+        let d = s.disparity.lock();
+        assert_eq!(d.count(), 1);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        let h = s.horizon_width.lock();
+        assert_eq!(h.count(), 1);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worker_cells_snapshot_and_merge() {
+        let s = SharedStats::new(2);
+        assert_eq!(s.merged_cells(), CellTotals::default());
+        let c0 = WorkerCounters { rollbacks: 3, antis_sent: 5, ..Default::default() };
+        let c1 =
+            WorkerCounters { rollbacks: 1, stragglers: 2, annihilated: 4, ..Default::default() };
+        s.publish_worker_cell(0, &c0);
+        s.publish_worker_cell(1, &c1);
+        assert_eq!(
+            s.merged_cells(),
+            CellTotals { rollbacks: 4, stragglers: 2, antis_sent: 5, annihilated: 4 }
+        );
+        // Cells are snapshots, not accumulators: re-publishing replaces.
+        s.publish_worker_cell(0, &WorkerCounters { rollbacks: 7, ..Default::default() });
+        assert_eq!(s.merged_cells().rollbacks, 8);
+        assert_eq!(s.merged_cells().antis_sent, 0);
     }
 
     #[test]

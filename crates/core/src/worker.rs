@@ -583,6 +583,13 @@ impl<M: Model> Actor for Worker<M> {
                 charge += self.fossil(gvt);
                 self.events_since_round = 0;
                 did_work = true;
+                // Metrics cells refresh once per round (never on the event
+                // path): each worker snapshots its private counters here so
+                // the epoch assembler can merge them. Gated, so un-metered
+                // runs skip even these stores.
+                if self.shared.gvt_core.metrics_on() {
+                    self.shared.stats.publish_worker_cell(self.widx, &self.counters);
+                }
                 if self.widx == 0 {
                     self.shared.stats.sample_disparity();
                     self.shared.stats.progress.lock().push(crate::stats::ProgressSample {
@@ -603,6 +610,11 @@ impl<M: Model> Actor for Worker<M> {
                             }
                         }
                     }
+                    // Per-GVT-epoch metrics publication (after the round's
+                    // fossil pass, before the termination check so the
+                    // final round is included). Records only; charges no
+                    // virtual time.
+                    self.shared.gvt_core.publish_epoch(now + charge);
                 }
                 if gvt >= cfg.end_vt() {
                     self.shared.gvt_core.signal_stop();

@@ -3,6 +3,7 @@
 use cagvt_base::actor::{Actor, StepOutcome};
 use cagvt_base::fault::FaultInjector;
 use cagvt_base::ids::ActorId;
+use cagvt_base::metrics::MetricsSink;
 use cagvt_base::time::WallNs;
 use cagvt_base::trace::{TraceRecord, TraceSink};
 use std::cmp::Reverse;
@@ -29,6 +30,10 @@ pub struct VirtualConfig {
     /// layers record through their own handles to the same sink). Purely
     /// observational: recording never changes a charged cost.
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Per-GVT-epoch metrics sink (consumed by the engine's GVT core; the
+    /// scheduler itself never consults it). Same observational contract as
+    /// `trace`.
+    pub metrics: Option<Arc<dyn MetricsSink>>,
 }
 
 impl Default for VirtualConfig {
@@ -39,6 +44,7 @@ impl Default for VirtualConfig {
             max_steps: None,
             faults: None,
             trace: None,
+            metrics: None,
         }
     }
 }
@@ -51,6 +57,7 @@ impl std::fmt::Debug for VirtualConfig {
             .field("max_steps", &self.max_steps)
             .field("faults", &self.faults.is_some())
             .field("trace", &self.trace.is_some())
+            .field("metrics", &self.metrics.is_some())
             .finish()
     }
 }

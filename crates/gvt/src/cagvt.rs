@@ -28,7 +28,7 @@
 use cagvt_base::ids::{LaneId, NodeId};
 use cagvt_core::gvt::{GvtBundle, GvtSharedCore, MpiGvt, WorkerGvt};
 use cagvt_net::{ClusterSpec, CostModel, CtrlPlane};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU8};
 use std::sync::Arc;
 
 use crate::common::TwoLevelReduce;
@@ -65,6 +65,7 @@ impl CaGvtBundle {
         let ca = CaExtra {
             barrier: TwoLevelReduce::new(spec.nodes, spec.workers_per_node),
             sync_flag: AtomicBool::new(false),
+            armed_cause: AtomicU8::new(0),
             threshold,
             queue_threshold,
         };

@@ -41,6 +41,7 @@
 //! round in the shared GVT trace.
 
 use cagvt_base::ids::{LaneId, NodeId};
+use cagvt_base::metrics::SyncCause;
 use cagvt_base::time::{VirtualTime, WallNs};
 use cagvt_base::trace::{GvtPhaseKind, TraceRecord, Track};
 use cagvt_core::gvt::{
@@ -48,7 +49,7 @@ use cagvt_core::gvt::{
 };
 use cagvt_core::stats::GvtRoundRecord;
 use cagvt_net::{ClusterSpec, CostModel, CtrlMsg, CtrlPlane, MsgClass};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use crate::common::{try_join_round, TwoLevelReduce};
@@ -88,6 +89,9 @@ pub struct CaExtra {
     pub barrier: TwoLevelReduce,
     /// Run the next round synchronously?
     pub sync_flag: AtomicBool,
+    /// Why the next round was armed ([`SyncCause`] encoding, set together
+    /// with `sync_flag` at each publication; recording-only).
+    pub armed_cause: AtomicU8,
     /// Efficiency threshold (paper: 0.80).
     pub threshold: f64,
     /// Optional second trigger from the paper's concluding remarks:
@@ -473,13 +477,14 @@ impl MatternMpi {
         let gvt = VirtualTime::from_ordered_bits(msg.min1.min(msg.min2));
         let mut charge = shared.cost.gvt_bookkeeping;
         if let Some(ca) = &shared.ca {
-            // Efficiency over the window since the previous round.
+            // Efficiency over the window since the previous round — the
+            // controller's actual decision signal.
             let committed = shared.core.stats.committed.load(Ordering::Relaxed);
             let rolled = shared.core.stats.rolled_back.load(Ordering::Relaxed);
             let (c0, r0) = self.eff_window_base;
             self.eff_window_base = (committed, rolled);
             let (dc, dr) = (committed - c0, rolled - r0);
-            let efficiency = if dc + dr == 0 {
+            let efficiency_window = if dc + dr == 0 {
                 shared.core.stats.efficiency()
             } else {
                 dc as f64 / (dc + dr) as f64
@@ -487,12 +492,24 @@ impl MatternMpi {
             let was_sync = ca.sync_flag.load(Ordering::Acquire);
             let queue_high =
                 ca.queue_threshold.map(|t| shared.core.max_mpi_queue_depth() > t).unwrap_or(false);
-            ca.sync_flag.store(efficiency < ca.threshold || queue_high, Ordering::Release);
+            let eff_low = efficiency_window < ca.threshold;
+            ca.sync_flag.store(eff_low || queue_high, Ordering::Release);
+            // Swap in the cause armed for the *next* round; the returned
+            // previous value is why *this* round ran the way it did (it
+            // was stored together with `sync_flag` at the last publish).
+            let cause = SyncCause::from_u8(
+                ca.armed_cause
+                    .swap(SyncCause::from_flags(eff_low, queue_high).as_u8(), Ordering::AcqRel),
+            );
             shared.core.stats.gvt_trace.lock().push(GvtRoundRecord {
                 round: msg.round,
                 gvt: gvt.as_f64(),
                 synchronous: was_sync,
-                efficiency,
+                efficiency: shared.core.stats.efficiency(),
+                committed_delta: dc,
+                rolled_back_delta: dr,
+                efficiency_window,
+                cause,
             });
             charge += shared.cost.efficiency_check;
         }

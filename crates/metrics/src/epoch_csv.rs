@@ -1,0 +1,144 @@
+//! Tidy CSV and JSON-lines formatting for [`MetricsEpoch`] records.
+//!
+//! One row per published GVT round; the vector-valued fields (per-worker
+//! lags, per-node queue depths) are summarized in the CSV (the full
+//! vectors are in the JSONL and Prometheus exports) so the CSV stays
+//! schema-stable across cluster shapes and loads directly into notebook
+//! tooling.
+
+use cagvt_base::metrics::{barrier_label, MetricsEpoch};
+
+/// Header matching [`epoch_csv_row`].
+pub fn epoch_csv_header() -> &'static str {
+    "round,t_ns,gvt,committed_delta,processed_delta,rolled_back_delta,rollbacks_delta,\
+     antis_sent_delta,annihilated_delta,msgs_sent_delta,msgs_received_delta,\
+     efficiency_window,efficiency_cum,finite_workers,horizon_width,horizon_roughness,\
+     mean_lag,mpi_queue_max,mode,barriers,cause"
+}
+
+/// One CSV row (no trailing newline).
+pub fn epoch_csv_row(e: &MetricsEpoch) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{:.6},{:.6},{:.6},{},{},{},{}",
+        e.round,
+        e.t.0,
+        e.gvt,
+        e.committed_delta,
+        e.processed_delta,
+        e.rolled_back_delta,
+        e.rollbacks_delta,
+        e.antis_sent_delta,
+        e.annihilated_delta,
+        e.msgs_sent_delta,
+        e.msgs_received_delta,
+        e.efficiency_window,
+        e.efficiency_cum,
+        e.finite_workers(),
+        e.horizon_width,
+        e.horizon_roughness,
+        e.mean_lag,
+        e.mpi_queue_max,
+        e.mode.label(),
+        barrier_label(e.barriers),
+        e.cause.label(),
+    )
+}
+
+/// One JSON-lines object (no trailing newline), carrying the full
+/// per-worker and per-node vectors. `NaN` lags (idle workers) are encoded
+/// as `null` to stay strict-JSON parseable.
+pub fn epoch_jsonl_row(e: &MetricsEpoch) -> String {
+    let lags: Vec<String> = e
+        .worker_lag
+        .iter()
+        .map(|l| if l.is_finite() { format!("{l}") } else { "null".to_string() })
+        .collect();
+    let queues: Vec<String> = e.mpi_queue_depths.iter().map(|q| q.to_string()).collect();
+    format!(
+        "{{\"round\":{},\"t_ns\":{},\"gvt\":{},\"committed_delta\":{},\
+         \"processed_delta\":{},\"rolled_back_delta\":{},\"rollbacks_delta\":{},\
+         \"antis_sent_delta\":{},\"annihilated_delta\":{},\"msgs_sent_delta\":{},\
+         \"msgs_received_delta\":{},\"efficiency_window\":{},\"efficiency_cum\":{},\
+         \"horizon_width\":{},\"horizon_roughness\":{},\"mean_lag\":{},\
+         \"worker_lag\":[{}],\"mpi_queue_depths\":[{}],\"mpi_queue_max\":{},\
+         \"mode\":\"{}\",\"barriers\":\"{}\",\"cause\":\"{}\"}}",
+        e.round,
+        e.t.0,
+        e.gvt,
+        e.committed_delta,
+        e.processed_delta,
+        e.rolled_back_delta,
+        e.rollbacks_delta,
+        e.antis_sent_delta,
+        e.annihilated_delta,
+        e.msgs_sent_delta,
+        e.msgs_received_delta,
+        e.efficiency_window,
+        e.efficiency_cum,
+        e.horizon_width,
+        e.horizon_roughness,
+        if e.mean_lag.is_finite() { e.mean_lag } else { 0.0 },
+        lags.join(","),
+        queues.join(","),
+        e.mpi_queue_max,
+        e.mode.label(),
+        barrier_label(e.barriers),
+        e.cause.label(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagvt_base::metrics::{EpochMode, SyncCause, BARRIER_A, BARRIER_B, BARRIER_C};
+    use cagvt_base::WallNs;
+
+    fn epoch() -> MetricsEpoch {
+        MetricsEpoch {
+            round: 3,
+            t: WallNs(1_000),
+            gvt: 12.5,
+            committed_delta: 40,
+            processed_delta: 100,
+            rolled_back_delta: 60,
+            rollbacks_delta: 7,
+            antis_sent_delta: 5,
+            annihilated_delta: 2,
+            msgs_sent_delta: 30,
+            msgs_received_delta: 28,
+            efficiency_window: 0.4,
+            efficiency_cum: 0.8,
+            worker_lag: vec![0.5, f64::NAN, 2.0],
+            horizon_width: 1.5,
+            horizon_roughness: 0.75,
+            mean_lag: 1.25,
+            mpi_queue_depths: vec![3, 0],
+            mpi_queue_max: 3,
+            mode: EpochMode::Sync,
+            barriers: BARRIER_A | BARRIER_B | BARRIER_C,
+            cause: SyncCause::Efficiency,
+        }
+    }
+
+    #[test]
+    fn header_and_row_column_counts_match() {
+        let header_cols = epoch_csv_header().split(',').count();
+        let row_cols = epoch_csv_row(&epoch()).split(',').count();
+        assert_eq!(header_cols, row_cols);
+    }
+
+    #[test]
+    fn row_carries_mode_barriers_and_cause_labels() {
+        let row = epoch_csv_row(&epoch());
+        assert!(row.ends_with("sync,A+B+C,efficiency"), "row: {row}");
+        assert!(row.starts_with("3,1000,12.5,40,100,60,"), "row: {row}");
+    }
+
+    #[test]
+    fn jsonl_encodes_nan_lag_as_null() {
+        let line = epoch_jsonl_row(&epoch());
+        assert!(line.contains("\"worker_lag\":[0.5,null,2]"), "line: {line}");
+        assert!(line.contains("\"mpi_queue_depths\":[3,0]"), "line: {line}");
+        assert!(line.contains("\"cause\":\"efficiency\""), "line: {line}");
+    }
+}

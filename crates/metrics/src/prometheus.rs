@@ -1,0 +1,305 @@
+//! Prometheus text exposition (version 0.0.4) for [`MetricsEpoch`]
+//! snapshots, plus a strict parser for the same format.
+//!
+//! The registry rewrites one exposition file per GVT round, so any
+//! file-scraping collector (node-exporter textfile collector, CI
+//! validation) always sees the latest epoch. Everything is exported as a
+//! gauge: epochs are snapshots of windowed state, not monotone counters.
+//! The parser exists because the build environment has no registry access
+//! — it is the shim-level validator the tests and the CI smoke step use
+//! in place of a real scrape.
+
+use cagvt_base::metrics::{barrier_label, EpochMode, MetricsEpoch};
+
+/// One parsed sample line of an exposition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    pub name: String,
+    /// Label pairs in file order.
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl PromSample {
+    /// Label value lookup.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn fmt_labels(base: &[(String, String)], extra: &[(&str, String)]) -> String {
+    let mut parts: Vec<String> = Vec::with_capacity(base.len() + extra.len());
+    for (k, v) in base {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    for (k, v) in extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, lines: &[(String, f64)]) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+    for (labels, value) in lines {
+        out.push_str(&format!("{name}{labels} {value}\n"));
+    }
+}
+
+/// Render one epoch as a complete Prometheus text exposition. `labels`
+/// (e.g. `algorithm`, `nodes`, `workers`) are attached to every sample.
+pub fn prometheus_exposition(e: &MetricsEpoch, labels: &[(String, String)]) -> String {
+    let base = |extra: &[(&str, String)]| fmt_labels(labels, extra);
+    let plain = base(&[]);
+    let mut out = String::new();
+
+    let scalars: [(&str, &str, f64); 12] = [
+        ("cagvt_gvt_round", "GVT round number of this snapshot.", e.round as f64),
+        ("cagvt_gvt", "Published global virtual time.", e.gvt),
+        ("cagvt_committed_delta", "Events committed during the epoch.", e.committed_delta as f64),
+        (
+            "cagvt_rolled_back_delta",
+            "Events rolled back during the epoch.",
+            e.rolled_back_delta as f64,
+        ),
+        ("cagvt_rollbacks_delta", "Rollback episodes during the epoch.", e.rollbacks_delta as f64),
+        (
+            "cagvt_antis_sent_delta",
+            "Anti-messages sent during the epoch.",
+            e.antis_sent_delta as f64,
+        ),
+        (
+            "cagvt_efficiency_window",
+            "Windowed efficiency committed/(committed+rolled_back).",
+            e.efficiency_window,
+        ),
+        ("cagvt_efficiency_cum", "Cumulative run efficiency.", e.efficiency_cum),
+        ("cagvt_horizon_width", "max-min spread of finite worker LVT lags.", e.horizon_width),
+        (
+            "cagvt_horizon_roughness",
+            "Standard deviation of finite worker LVT lags.",
+            e.horizon_roughness,
+        ),
+        (
+            "cagvt_mpi_queue_max",
+            "Deepest per-node MPI outbox at the publication.",
+            e.mpi_queue_max as f64,
+        ),
+        (
+            "cagvt_sync_barriers",
+            "Conditional-barrier count the round passed through (0-3).",
+            e.barriers.count_ones() as f64,
+        ),
+    ];
+    for (name, help, value) in scalars {
+        gauge(&mut out, name, help, &[(plain.clone(), value)]);
+    }
+
+    // Controller mode as a state set: exactly one series is 1.
+    let mode_lines: Vec<(String, f64)> =
+        [EpochMode::Uncontrolled, EpochMode::Async, EpochMode::Sync]
+            .iter()
+            .map(|m| {
+                (base(&[("mode", m.label().to_string())]), if e.mode == *m { 1.0 } else { 0.0 })
+            })
+            .collect();
+    gauge(&mut out, "cagvt_mode", "Controller mode of the round (state set).", &mode_lines);
+
+    let cause_lines =
+        vec![(base(&[("cause", e.cause.label().to_string())]), f64::from(e.cause.as_u8()))];
+    gauge(
+        &mut out,
+        "cagvt_sync_cause",
+        "Why the conditional barriers were armed (labelled; 0 = async round).",
+        &cause_lines,
+    );
+    let barrier_lines =
+        vec![(base(&[("barriers", barrier_label(e.barriers))]), f64::from(e.barriers))];
+    gauge(&mut out, "cagvt_sync_barrier_mask", "Barrier bitmask A|B|C.", &barrier_lines);
+
+    let lag_lines: Vec<(String, f64)> = e
+        .worker_lag
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.is_finite())
+        .map(|(w, l)| (base(&[("worker", w.to_string())]), *l))
+        .collect();
+    gauge(&mut out, "cagvt_worker_lag", "Per-worker LVT lag above GVT.", &lag_lines);
+
+    let queue_lines: Vec<(String, f64)> = e
+        .mpi_queue_depths
+        .iter()
+        .enumerate()
+        .map(|(n, q)| (base(&[("node", n.to_string())]), *q as f64))
+        .collect();
+    gauge(&mut out, "cagvt_mpi_queue_depth", "Per-node MPI outbox occupancy.", &queue_lines);
+
+    out
+}
+
+/// Parse a text exposition back into its samples. Comment (`#`) and blank
+/// lines are skipped; any other malformed line is an error. This is the
+/// validation half of the offline-shim discipline: CI parses what the
+/// registry wrote instead of scraping it.
+pub fn parse_exposition(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<PromSample, String> {
+    let (head, value) = match line.rfind(' ') {
+        Some(i) => (&line[..i], &line[i + 1..]),
+        None => return Err(format!("no value separator in {line:?}")),
+    };
+    let value: f64 = value.parse().map_err(|_| format!("bad value {value:?}"))?;
+    let (name, labels) = match head.find('{') {
+        None => (head.trim().to_string(), Vec::new()),
+        Some(i) => {
+            let name = head[..i].trim().to_string();
+            let rest = head[i + 1..]
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set in {head:?}"))?;
+            (name, parse_labels(rest)?)
+        }
+    };
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    Ok(PromSample { name, labels, value })
+}
+
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| format!("missing '=' in labels {s:?}"))?;
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("unquoted label value in {s:?}"))?;
+        // Scan for the closing quote, honoring backslash escapes.
+        let mut value = String::new();
+        let mut chars = after.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, e)) => value.push(e),
+                    None => return Err(format!("dangling escape in {s:?}")),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in {s:?}"))?;
+        labels.push((key, value));
+        rest = after[end + 1..].trim_start_matches(',').trim_start();
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagvt_base::metrics::{SyncCause, BARRIER_A, BARRIER_B, BARRIER_C};
+    use cagvt_base::WallNs;
+
+    fn labelled_epoch() -> (MetricsEpoch, Vec<(String, String)>) {
+        let e = MetricsEpoch {
+            round: 5,
+            t: WallNs(2_000),
+            gvt: 40.0,
+            committed_delta: 90,
+            rolled_back_delta: 10,
+            efficiency_window: 0.9,
+            efficiency_cum: 0.93,
+            worker_lag: vec![0.0, 1.0, f64::NAN, 3.0],
+            horizon_width: 3.0,
+            horizon_roughness: 1.247,
+            mean_lag: 4.0 / 3.0,
+            mpi_queue_depths: vec![2, 7],
+            mpi_queue_max: 7,
+            mode: cagvt_base::metrics::EpochMode::Sync,
+            barriers: BARRIER_A | BARRIER_B | BARRIER_C,
+            cause: SyncCause::QueueDepth,
+            ..MetricsEpoch::default()
+        };
+        let labels = vec![
+            ("algorithm".to_string(), "ca-gvt".to_string()),
+            ("nodes".to_string(), "2".into()),
+        ];
+        (e, labels)
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let (e, labels) = labelled_epoch();
+        let text = prometheus_exposition(&e, &labels);
+        let samples = parse_exposition(&text).expect("exposition must parse");
+        assert!(!samples.is_empty());
+        // Every sample carries the base labels.
+        for s in &samples {
+            assert_eq!(s.label("algorithm"), Some("ca-gvt"), "sample {s:?}");
+            assert_eq!(s.label("nodes"), Some("2"));
+        }
+        let gvt = samples.iter().find(|s| s.name == "cagvt_gvt").unwrap();
+        assert_eq!(gvt.value, 40.0);
+        let sync = samples
+            .iter()
+            .find(|s| s.name == "cagvt_mode" && s.label("mode") == Some("sync"))
+            .unwrap();
+        assert_eq!(sync.value, 1.0);
+        let cause = samples.iter().find(|s| s.name == "cagvt_sync_cause").unwrap();
+        assert_eq!(cause.label("cause"), Some("queue-depth"));
+        // NaN lag (worker 2) is omitted; the rest are present.
+        let lags: Vec<_> = samples.iter().filter(|s| s.name == "cagvt_worker_lag").collect();
+        assert_eq!(lags.len(), 3);
+        assert!(lags.iter().all(|s| s.label("worker") != Some("2")));
+        let queues: Vec<_> = samples.iter().filter(|s| s.name == "cagvt_mpi_queue_depth").collect();
+        assert_eq!(queues.len(), 2);
+        assert_eq!(queues[1].label("node"), Some("1"));
+        assert_eq!(queues[1].value, 7.0);
+    }
+
+    #[test]
+    fn label_escapes_survive_the_round_trip() {
+        let (e, _) = labelled_epoch();
+        let labels = vec![("workload".to_string(), "odd \"name\"\\with\nnoise".to_string())];
+        let text = prometheus_exposition(&e, &labels);
+        let samples = parse_exposition(&text).expect("escaped exposition must parse");
+        assert_eq!(samples[0].label("workload"), Some("odd \"name\"\\with\nnoise"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("cagvt_gvt{algorithm=\"x\" 1.0").is_err());
+        assert!(parse_exposition("cagvt_gvt one_point_zero").is_err());
+        assert!(parse_exposition("cagvt gvt 1.0").is_err());
+        assert!(parse_exposition("cagvt_gvt{algorithm=unquoted} 1.0").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# HELP x y\n# TYPE x gauge\n\nx 1\n";
+        let samples = parse_exposition(text).unwrap();
+        assert_eq!(samples, vec![PromSample { name: "x".into(), labels: vec![], value: 1.0 }]);
+    }
+}

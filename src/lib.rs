@@ -39,6 +39,7 @@
 //! | [`gvt`] | Barrier, Mattern and CA-GVT algorithms |
 //! | [`fault`] | deterministic fault plans: stragglers, link degradation, drops |
 //! | [`trace`] | ring-buffer trace recorder, Chrome/Perfetto export, horizon statistics |
+//! | [`metrics`] | per-GVT-epoch metrics registry, CSV/JSONL/Prometheus exporters, health rules |
 //! | [`models`] | modified PHOLD, epidemic (SIR), PCS cellular models |
 //!
 //! See `DESIGN.md` for the system inventory and the experiment index, and
@@ -49,6 +50,7 @@ pub use cagvt_core as core;
 pub use cagvt_exec as exec;
 pub use cagvt_fault as fault;
 pub use cagvt_gvt as gvt;
+pub use cagvt_metrics as metrics;
 pub use cagvt_models as models;
 pub use cagvt_net as net;
 pub use cagvt_trace as trace;
@@ -56,10 +58,12 @@ pub use cagvt_trace as trace;
 /// The commonly-needed imports in one place.
 pub mod prelude {
     pub use cagvt_base::{
-        Actor, FaultInjector, FaultStats, LpId, NoFaults, NullTrace, TraceSink, VirtualTime, WallNs,
+        Actor, FaultInjector, FaultStats, LpId, MetricsEpoch, MetricsSink, NoFaults, NullMetrics,
+        NullTrace, TraceSink, VirtualTime, WallNs,
     };
     pub use cagvt_core::cluster::{
-        build_cluster, build_shared, build_shared_faulted, run_virtual, run_virtual_with,
+        build_cluster, build_shared, build_shared_faulted, build_shared_observed, run_virtual,
+        run_virtual_with,
     };
     pub use cagvt_core::model::{Emitter, EventCtx, Model};
     pub use cagvt_core::seq::SequentialSim;
@@ -67,6 +71,7 @@ pub mod prelude {
     pub use cagvt_exec::{ThreadConfig, ThreadRuntime, VirtualConfig, VirtualScheduler};
     pub use cagvt_fault::{FaultPlan, FaultRuntime, FaultSpec, FaultTopology, Perturbation};
     pub use cagvt_gvt::{make_bundle, GvtKind};
+    pub use cagvt_metrics::{HealthConfig, HealthMonitor, MetricsRegistry};
     pub use cagvt_models::presets::{comm_dominated, comp_dominated, mixed_model};
     pub use cagvt_models::{CqnModel, EpidemicModel, PcsModel, PholdModel, TrafficModel};
     pub use cagvt_net::{ClusterSpec, CostModel, MpiMode};

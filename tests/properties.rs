@@ -229,6 +229,85 @@ proptest! {
         prop_assert_eq!(fplain.committed, plain.committed);
         prop_assert_eq!(fplain.state_fingerprint, plain.state_fingerprint);
     }
+
+    /// Metrics observation is purely observational (mirror of
+    /// `tracing_never_perturbs`): the same run with no sink, with the
+    /// disabled `NullMetrics` sink and with a full recording registry
+    /// commits identical events and states (matching the sequential
+    /// oracle), takes the same number of scheduler steps, and the same
+    /// holds with a fault plan active.
+    #[test]
+    fn metrics_never_perturb(
+        kind in arb_kind(),
+        seed in any::<u32>(),
+        remote in 0.0f64..0.3,
+        severity in 0.1f64..1.0,
+        fault_seed in any::<u32>(),
+    ) {
+        let mut cfg = SimConfig::small(2, 2);
+        cfg.lps_per_worker = 4;
+        cfg.end_time = 10.0;
+        cfg.seed = seed as u64 | 0x3E7_0000_0000;
+        let model = phold_for(&cfg, 0.2, remote, 2_000);
+
+        let run = |metrics: Option<Arc<dyn MetricsSink>>| {
+            let vcfg = VirtualConfig { metrics, ..Default::default() };
+            run_virtual_with(Arc::new(model.clone()), cfg, vcfg, |shared| {
+                make_bundle(kind, shared)
+            })
+        };
+        let plain = run(None);
+        let null = run(Some(Arc::new(NullMetrics)));
+        let registry = Arc::new(MetricsRegistry::new());
+        let metered = run(Some(registry.clone() as Arc<dyn MetricsSink>));
+        prop_assert!(!registry.is_empty(), "registry saw no epochs");
+        // The recorded stream is coherent: rounds strictly increase and
+        // every windowed delta stays within the cumulative totals.
+        let epochs = registry.epochs();
+        for w in epochs.windows(2) {
+            prop_assert!(w[1].round > w[0].round);
+            prop_assert!(w[1].gvt >= w[0].gvt);
+        }
+        let committed_sum: u64 = epochs.iter().map(|e| e.committed_delta).sum();
+        prop_assert!(committed_sum <= metered.committed);
+
+        let seq = SequentialSim::new(Arc::new(model.clone()), cfg).run();
+        prop_assert_eq!(plain.committed, seq.processed);
+        prop_assert_eq!(plain.state_fingerprint, seq.fingerprint);
+        for r in [&null, &metered] {
+            prop_assert_eq!(r.committed, plain.committed);
+            prop_assert_eq!(r.state_fingerprint, plain.state_fingerprint);
+            prop_assert_eq!(r.sched_steps, plain.sched_steps);
+            prop_assert_eq!(r.sim_seconds, plain.sim_seconds);
+        }
+
+        // With a fault plan active the registry still changes nothing —
+        // faulted-and-metered matches faulted-unmetered bit for bit, and
+        // both still commit the clean run's events.
+        let span = WallNs(((plain.sim_seconds * 1e9) as u64).max(1_000_000));
+        let topology = FaultTopology::from(&cfg.spec);
+        let spec = FaultSpec::new(severity, fault_seed as u64, span);
+        let plan = FaultPlan::generate(&topology, &spec);
+        let faulted = |metrics: Option<Arc<dyn MetricsSink>>| {
+            let rt = Arc::new(FaultRuntime::new(topology, &plan, spec.seed));
+            let vcfg = VirtualConfig {
+                faults: Some(rt as Arc<dyn FaultInjector>),
+                metrics,
+                ..Default::default()
+            };
+            run_virtual_with(Arc::new(model.clone()), cfg, vcfg, |shared| {
+                make_bundle(kind, shared)
+            })
+        };
+        let fplain = faulted(None);
+        let fmetered = faulted(Some(Arc::new(MetricsRegistry::new()) as Arc<dyn MetricsSink>));
+        prop_assert_eq!(fmetered.committed, fplain.committed);
+        prop_assert_eq!(fmetered.state_fingerprint, fplain.state_fingerprint);
+        prop_assert_eq!(fmetered.sched_steps, fplain.sched_steps);
+        prop_assert_eq!(fmetered.sim_seconds, fplain.sim_seconds);
+        prop_assert_eq!(fplain.committed, plain.committed);
+        prop_assert_eq!(fplain.state_fingerprint, plain.state_fingerprint);
+    }
 }
 
 proptest! {
